@@ -1,0 +1,164 @@
+//! Per-item contribution scores (Eq. 3–8 of the paper).
+//!
+//! For a pair of sources `(S1, S2)` and a data item `D` that both provide,
+//! the *contribution score* in the direction "`S1` copies from `S2`" is the
+//! log-likelihood ratio
+//!
+//! ```text
+//! C→(D) = ln( Pr(Φ_D | S1 → S2) / Pr(Φ_D | S1 ⊥ S2) )
+//! ```
+//!
+//! which evaluates to `ln(1 − s + s·Pr(Φ_D(S2)) / Pr(Φ_D|⊥))` when the two
+//! sources provide the same value (Eq. 6) and to the constant `ln(1 − s)`
+//! when they provide different values (Eq. 8).  All functions here are pure
+//! and allocation-free; they are the innermost loop of every detection
+//! algorithm.
+
+use crate::params::CopyParams;
+
+/// Probability that two *independent* sources with accuracies `a1`, `a2` both
+/// provide the observed common value, which is true with probability `p`
+/// (Eq. 3):
+///
+/// `Pr(Φ_D | S1 ⊥ S2) = p·a1·a2 + (1 − p)·(1 − a1)(1 − a2)/n`.
+#[inline]
+pub fn pr_same_value_independent(p: f64, a1: f64, a2: f64, params: &CopyParams) -> f64 {
+    p * a1 * a2 + (1.0 - p) * (1.0 - a1) * (1.0 - a2) / params.n()
+}
+
+/// Probability of the observation of the copied-from source's value
+/// (Eq. 4): `Pr(Φ_D(S2)) = p·a2 + (1 − p)(1 − a2)` where `a2` is the
+/// accuracy of the source being copied from.
+#[inline]
+pub fn pr_value_of_original(p: f64, a_original: f64) -> f64 {
+    p * a_original + (1.0 - p) * (1.0 - a_original)
+}
+
+/// Contribution score of an item on which the two sources provide the *same*
+/// value (Eq. 6), in the direction "copier copies from original":
+///
+/// `C→(D) = ln(1 − s + s·Pr(Φ_D(S_original)) / Pr(Φ_D | ⊥))`.
+///
+/// * `p` — probability that the shared value is true,
+/// * `a_copier` — accuracy of the hypothesized copier (`S1` for `C→`),
+/// * `a_original` — accuracy of the hypothesized original (`S2` for `C→`).
+#[inline]
+pub fn same_value_score(p: f64, a_copier: f64, a_original: f64, params: &CopyParams) -> f64 {
+    let independent = pr_same_value_independent(p, a_copier, a_original, params);
+    let original = pr_value_of_original(p, a_original);
+    (1.0 - params.selectivity + params.selectivity * original / independent).ln()
+}
+
+/// Both directional scores for an item on which the two sources provide the
+/// same value: `(C→(D), C←(D))` where `→` hypothesizes that `s1` copies from
+/// `s2`.
+#[inline]
+pub fn same_value_scores_both(p: f64, a_s1: f64, a_s2: f64, params: &CopyParams) -> (f64, f64) {
+    (
+        same_value_score(p, a_s1, a_s2, params),
+        same_value_score(p, a_s2, a_s1, params),
+    )
+}
+
+/// Contribution score of an item on which the two sources provide *different*
+/// values (Eq. 8): the constant `ln(1 − s)`, identical in both directions.
+#[inline]
+pub fn different_value_score(params: &CopyParams) -> f64 {
+    params.different_value_score()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CopyParams {
+        CopyParams::paper_defaults()
+    }
+
+    /// Example 2.1: sharing NJ.Atlantic (P = .01) between S2 and S3
+    /// (both accuracy .2) contributes 3.89.
+    #[test]
+    fn example_2_1_nj_atlantic() {
+        let c = same_value_score(0.01, 0.2, 0.2, &params());
+        assert!((c - 3.89).abs() < 0.01, "got {c}");
+    }
+
+    /// Example 2.1 continues: the other shared items of (S2, S3) contribute
+    /// 1.6 (AZ.Phoenix, P=.95), 3.86 (NY.NewYork, P=.02) and 3.83
+    /// (FL.Miami, P=.03); the item with different values contributes -1.6.
+    #[test]
+    fn example_2_1_remaining_items() {
+        let p = params();
+        assert!((same_value_score(0.95, 0.2, 0.2, &p) - 1.60).abs() < 0.01);
+        assert!((same_value_score(0.02, 0.2, 0.2, &p) - 3.86).abs() < 0.01);
+        assert!((same_value_score(0.03, 0.2, 0.2, &p) - 3.83).abs() < 0.01);
+        assert!((different_value_score(&p) - (-1.609)).abs() < 0.001);
+    }
+
+    /// Sharing a true value between two highly accurate sources is only weak
+    /// evidence: the paper states each shared true value of (S0, S1)
+    /// contributes about .01.
+    #[test]
+    fn true_values_between_accurate_sources_contribute_little() {
+        let p = params();
+        let c = same_value_score(0.97, 0.99, 0.99, &p);
+        assert!(c > 0.0 && c < 0.05, "got {c}");
+    }
+
+    /// The paper (quoting [6]): the same-value score is always positive and
+    /// the different-value score always negative.
+    #[test]
+    fn same_value_scores_are_positive_different_negative() {
+        let p = params();
+        for &prob in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            for &a1 in &[0.05, 0.3, 0.7, 0.95] {
+                for &a2 in &[0.05, 0.3, 0.7, 0.95] {
+                    let c = same_value_score(prob, a1, a2, &p);
+                    assert!(c > 0.0, "score {c} not positive for p={prob}, a1={a1}, a2={a2}");
+                }
+            }
+        }
+        assert!(different_value_score(&p) < 0.0);
+    }
+
+    /// Sharing a value with a *lower* probability of being true yields a
+    /// *larger* score (the monotonicity the index ordering relies on).
+    #[test]
+    fn score_decreases_with_value_probability() {
+        let p = params();
+        let probs = [0.01, 0.05, 0.2, 0.5, 0.8, 0.99];
+        let scores: Vec<f64> = probs.iter().map(|&pr| same_value_score(pr, 0.6, 0.4, &p)).collect();
+        for w in scores.windows(2) {
+            assert!(w[0] > w[1], "scores not decreasing: {scores:?}");
+        }
+    }
+
+    /// Directional scores differ when the accuracies differ, and swap when
+    /// the roles swap.
+    #[test]
+    fn directional_scores_swap_with_roles() {
+        let p = params();
+        let (to, from) = same_value_scores_both(0.1, 0.9, 0.3, &p);
+        let (to2, from2) = same_value_scores_both(0.1, 0.3, 0.9, &p);
+        assert!((to - from2).abs() < 1e-12);
+        assert!((from - to2).abs() < 1e-12);
+        assert!((to - from).abs() > 1e-6);
+    }
+
+    /// Eq. 3 and Eq. 4 sanity: probabilities stay within (0, 1] for valid
+    /// inputs.
+    #[test]
+    fn probability_helpers_in_range() {
+        let p = params();
+        for &prob in &[0.0, 0.2, 1.0] {
+            for &a in &[0.001, 0.5, 0.999] {
+                let orig = pr_value_of_original(prob, a);
+                assert!(orig > 0.0 && orig <= 1.0);
+                for &b in &[0.001, 0.5, 0.999] {
+                    let ind = pr_same_value_independent(prob, a, b, &p);
+                    assert!(ind > 0.0 && ind <= 1.0, "ind={ind}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! `M̂(D.v)` — the maximum contribution score a shared value can make for
+//! *any* pair of its providers (Proposition 3.1).
+//!
+//! The inverted index orders its entries by this quantity, so entries that
+//! could constitute strong evidence of copying for *some* pair are processed
+//! first, and an upper bound on the contribution of every not-yet-scanned
+//! entry is available for free (Proposition 3.4).
+
+use crate::contribution::same_value_score;
+use crate::params::CopyParams;
+
+/// Computes `M̂(D.v)` for a value with truth probability `p` provided by the
+/// sources whose accuracies are given in `provider_accuracies`.
+///
+/// Proposition 3.1 observes that the maximum of Eq. 6 over all ordered
+/// provider pairs is attained at providers with extreme (minimum /
+/// second-minimum / maximum) accuracies; which configuration wins depends on
+/// `p`, `n` and the minimum accuracy. The underlying reason is that the
+/// likelihood ratio inside Eq. 6 is a ratio of functions linear in each
+/// accuracy, hence monotone in the copier's accuracy and monotone in the
+/// original's accuracy separately — so each role's maximizing accuracy is an
+/// extreme value among the providers (the *second* extreme when both roles
+/// would otherwise pick the same single provider).
+///
+/// Rather than branching on the proposition's analytical conditions, this
+/// function evaluates Eq. 6 at every configuration of extreme accuracies
+/// (minimum, second minimum, maximum, second maximum in either role, skipping
+/// configurations that would require the same provider twice) and returns the
+/// largest score. This is a constant number of evaluations per entry, is
+/// exact for all parameter settings, and reduces to the proposition's cases
+/// where they apply.
+///
+/// # Panics
+/// Panics if fewer than two provider accuracies are supplied; values with a
+/// single provider are never indexed.
+pub fn max_contribution(p: f64, provider_accuracies: &[f64], params: &CopyParams) -> f64 {
+    assert!(
+        provider_accuracies.len() >= 2,
+        "M̂(D.v) is defined only for values shared by at least two sources"
+    );
+    // Indices of the providers with the two smallest and two largest
+    // accuracies (a provider can hold several of these roles only if it is
+    // the unique extreme, which the pairing step below accounts for).
+    let mut order: Vec<usize> = (0..provider_accuracies.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        provider_accuracies[a]
+            .partial_cmp(&provider_accuracies[b])
+            .expect("accuracies are never NaN")
+    });
+    let k = order.len();
+    let mut extremes: Vec<usize> = vec![order[0], order[1], order[k - 1], order[k - 2]];
+    extremes.sort_unstable();
+    extremes.dedup();
+
+    let mut best = f64::NEG_INFINITY;
+    for &copier in &extremes {
+        for &original in &extremes {
+            if copier == original {
+                continue;
+            }
+            let score = same_value_score(
+                p,
+                provider_accuracies[copier],
+                provider_accuracies[original],
+                params,
+            );
+            best = best.max(score);
+        }
+    }
+    best
+}
+
+/// Brute-force reference: the maximum of Eq. 6 over every ordered pair of
+/// distinct providers. `O(k²)` in the number of providers; used in tests to
+/// validate [`max_contribution`] and available for diagnostics.
+pub fn max_contribution_exhaustive(p: f64, provider_accuracies: &[f64], params: &CopyParams) -> f64 {
+    assert!(provider_accuracies.len() >= 2);
+    let mut best = f64::NEG_INFINITY;
+    for (i, &copier) in provider_accuracies.iter().enumerate() {
+        for (j, &original) in provider_accuracies.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            best = best.max(same_value_score(p, copier, original, params));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CopyParams {
+        CopyParams::paper_defaults()
+    }
+
+    /// Table III: NJ.Atlantic (P = .01, providers S2 .2, S3 .2, S4 .4) has
+    /// score 4.12, "computed from pair (S4, S3), with the highest and lowest
+    /// accuracy among providers".
+    #[test]
+    fn table_iii_nj_atlantic() {
+        let m = max_contribution(0.01, &[0.2, 0.2, 0.4], &params());
+        assert!((m - 4.12).abs() < 0.01, "got {m}");
+    }
+
+    /// Table III: AZ.Tempe (P = .02, providers S5 .6, S6 .01) has score 4.59.
+    #[test]
+    fn table_iii_az_tempe() {
+        let m = max_contribution(0.02, &[0.6, 0.01], &params());
+        assert!((m - 4.59).abs() < 0.01, "got {m}");
+    }
+
+    /// Table III: TX.Houston (P = .02, providers S2 .2, S4 .4) has score 4.05,
+    /// and NY.NewYork (P = .02, providers S2 .2, S3 .2, S4 .4) the same.
+    #[test]
+    fn table_iii_houston_and_newyork() {
+        let p = params();
+        assert!((max_contribution(0.02, &[0.2, 0.4], &p) - 4.05).abs() < 0.01);
+        assert!((max_contribution(0.02, &[0.2, 0.2, 0.4], &p) - 4.05).abs() < 0.01);
+    }
+
+    /// Table III: the dishonest trio S6 (.01), S7 (.25), S8 (.2):
+    /// TX.Dallas (P=.02) → 3.98, NY.Buffalo (P=.04) → 3.97,
+    /// FL.PalmBay (P=.05) → 3.97.
+    #[test]
+    fn table_iii_dallas_buffalo_palmbay() {
+        let p = params();
+        let accs = [0.01, 0.25, 0.2];
+        assert!((max_contribution(0.02, &accs, &p) - 3.98).abs() < 0.01);
+        assert!((max_contribution(0.04, &accs, &p) - 3.97).abs() < 0.01);
+        assert!((max_contribution(0.05, &accs, &p) - 3.97).abs() < 0.01);
+    }
+
+    /// Table III: FL.Miami (P=.03, providers .2, .2) → 3.83.
+    #[test]
+    fn table_iii_fl_miami() {
+        assert!((max_contribution(0.03, &[0.2, 0.2], &params()) - 3.83).abs() < 0.01);
+    }
+
+    /// Table III true values: NJ.Trenton (P=.97, providers .99,.99,.25,.2,.99)
+    /// → 1.51; FL.Orlando (P=.92, providers .99,.4,.6,.99) → 0.84;
+    /// NY.Albany (P=.94, providers .99,.99,.6) → 0.43;
+    /// TX.Austin (P=.96, providers .99,.99,.6,.99) → 0.43.
+    #[test]
+    fn table_iii_true_values() {
+        let p = params();
+        assert!((max_contribution(0.97, &[0.99, 0.99, 0.25, 0.2, 0.99], &p) - 1.51).abs() < 0.01);
+        assert!((max_contribution(0.92, &[0.99, 0.4, 0.6, 0.99], &p) - 0.84).abs() < 0.01);
+        assert!((max_contribution(0.94, &[0.99, 0.99, 0.6], &p) - 0.43).abs() < 0.01);
+        assert!((max_contribution(0.96, &[0.99, 0.99, 0.6, 0.99], &p) - 0.43).abs() < 0.01);
+    }
+
+    /// Table III: AZ.Phoenix (P=.95, providers .99,.99,.2,.2,.4) ≈ 1.6
+    /// (the paper prints 1.62 after rounding its probabilities).
+    #[test]
+    fn table_iii_az_phoenix() {
+        let m = max_contribution(0.95, &[0.99, 0.99, 0.2, 0.2, 0.4], &params());
+        assert!((m - 1.60).abs() < 0.03, "got {m}");
+    }
+
+    /// The three-candidate evaluation equals the exhaustive maximum over all
+    /// ordered provider pairs (Proposition 3.1), across a grid of settings.
+    #[test]
+    fn candidates_match_exhaustive_on_grid() {
+        let params = params();
+        let accuracy_sets: &[&[f64]] = &[
+            &[0.2, 0.2],
+            &[0.01, 0.99],
+            &[0.2, 0.4, 0.99],
+            &[0.05, 0.3, 0.6, 0.9],
+            &[0.5, 0.5, 0.5],
+            &[0.99, 0.98, 0.97, 0.2, 0.01],
+        ];
+        for &accs in accuracy_sets {
+            for &p in &[0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+                let fast = max_contribution(p, accs, &params);
+                let slow = max_contribution_exhaustive(p, accs, &params);
+                assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "mismatch for p={p}, accs={accs:?}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sources")]
+    fn rejects_single_provider() {
+        let _ = max_contribution(0.5, &[0.9], &params());
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 2: single-round cost of INDEX, BOUND, BOUND+ and HYBRID on every
+//! workload shape.
+
+use copydet_bench::{workloads, BootstrapState};
+use copydet_detect::{bound_detection, hybrid_detection, index_detection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_single_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_single_round");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for synth in workloads() {
+        let state = BootstrapState::new(&synth);
+        group.bench_with_input(BenchmarkId::new("INDEX", &synth.name), &synth, |b, s| {
+            b.iter(|| index_detection(&state.input(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("BOUND", &synth.name), &synth, |b, s| {
+            b.iter(|| bound_detection(&state.input(s), false))
+        });
+        group.bench_with_input(BenchmarkId::new("BOUND+", &synth.name), &synth, |b, s| {
+            b.iter(|| bound_detection(&state.input(s), true))
+        });
+        group.bench_with_input(BenchmarkId::new("HYBRID", &synth.name), &synth, |b, s| {
+            b.iter(|| hybrid_detection(&state.input(s), 16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_round);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 3: the effect of the entry processing order (Random, ByProvider,
+//! ByContribution) on BOUND and HYBRID.
+
+use copydet_bench::{small_workloads, BootstrapState};
+use copydet_detect::{CopyDetector, BoundDetector, HybridDetector};
+use copydet_index::EntryOrdering;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_ordering");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let orderings = [
+        ("RANDOM", EntryOrdering::Random { seed: 3 }),
+        ("BYPROVIDER", EntryOrdering::ByProvider),
+        ("BYCONTRIBUTION", EntryOrdering::ByContribution),
+    ];
+    for synth in small_workloads() {
+        let state = BootstrapState::new(&synth);
+        for (name, ordering) in orderings {
+            group.bench_with_input(
+                BenchmarkId::new(format!("BOUND/{name}"), &synth.name),
+                &synth,
+                |b, s| {
+                    let mut detector = BoundDetector { lazy: false, ordering };
+                    b.iter(|| detector.detect_round(&state.input(s), 1))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("HYBRID/{name}"), &synth.name),
+                &synth,
+                |b, s| {
+                    let mut detector = HybridDetector { switch_threshold: 16, ordering };
+                    b.iter(|| detector.detect_round(&state.input(s), 1))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table X: the cost of generating the NRA input lists (FAGININPUT) against
+//! HYBRID on the same bootstrap state — the comparison the paper uses to
+//! dismiss the top-k route.
+
+use copydet_bench::{small_workloads, BootstrapState};
+use copydet_detect::{hybrid_detection, FaginInput};
+use copydet_index::InvertedIndex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fagin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table10_fagin");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for synth in small_workloads() {
+        let state = BootstrapState::new(&synth);
+
+        group.bench_with_input(BenchmarkId::new("FAGININPUT", &synth.name), &synth, |b, s| {
+            b.iter(|| {
+                let index = InvertedIndex::build(
+                    &s.dataset,
+                    &state.accuracies,
+                    &state.probabilities,
+                    &state.params,
+                );
+                FaginInput::generate(&state.input(s), &index)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HYBRID", &synth.name), &synth, |b, s| {
+            b.iter(|| hybrid_detection(&state.input(s), 16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fagin);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table V context: inverted-index construction cost per workload.
+//!
+//! The paper reports that indexing is a small fraction (<1%) of PAIRWISE's
+//! cost but a substantial fraction (~57%) of INCREMENTAL's; this bench
+//! measures the index-build step in isolation on every workload.
+
+use copydet_bench::{workloads, BootstrapState};
+use copydet_index::InvertedIndex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_index_build");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for synth in workloads() {
+        let state = BootstrapState::new(&synth);
+        group.bench_with_input(BenchmarkId::from_parameter(&synth.name), &synth, |b, synth| {
+            b.iter(|| {
+                InvertedIndex::build(
+                    &synth.dataset,
+                    &state.accuracies,
+                    &state.probabilities,
+                    &state.params,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Table VII: copy-detection cost of the methods the paper compares
+//! (PAIRWISE, SAMPLE1, INDEX, BOUND+, HYBRID, SCALESAMPLE), measured as a
+//! single detection round on identical bootstrap state per workload.
+//!
+//! (The full iterative-loop timings behind Table VII are produced by the
+//! `exp_table7_time` driver; the bench isolates the per-round detection cost
+//! so regressions in any single algorithm are visible.)
+
+use copydet_bench::{small_workloads, BootstrapState};
+use copydet_detect::{
+    bound_detection, hybrid_detection, index_detection, pairwise_detection, CopyDetector,
+    IncrementalDetector, PairwiseDetector, SampledDetector, SamplingStrategy,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_methods");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for synth in small_workloads() {
+        let state = BootstrapState::new(&synth);
+
+        group.bench_with_input(BenchmarkId::new("PAIRWISE", &synth.name), &synth, |b, s| {
+            b.iter(|| pairwise_detection(&state.input(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("SAMPLE1", &synth.name), &synth, |b, s| {
+            b.iter(|| {
+                let mut d = SampledDetector::new(
+                    SamplingStrategy::ByItem { rate: 0.1 },
+                    7,
+                    PairwiseDetector::new(),
+                    "SAMPLE1",
+                );
+                d.detect_round(&state.input(s), 1)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("INDEX", &synth.name), &synth, |b, s| {
+            b.iter(|| index_detection(&state.input(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("BOUND+", &synth.name), &synth, |b, s| {
+            b.iter(|| bound_detection(&state.input(s), true))
+        });
+        group.bench_with_input(BenchmarkId::new("HYBRID", &synth.name), &synth, |b, s| {
+            b.iter(|| hybrid_detection(&state.input(s), 16))
+        });
+        group.bench_with_input(BenchmarkId::new("SCALESAMPLE", &synth.name), &synth, |b, s| {
+            b.iter(|| {
+                let mut d = SampledDetector::new(
+                    SamplingStrategy::scale_sample(0.1),
+                    7,
+                    IncrementalDetector::new(),
+                    "SCALESAMPLE",
+                );
+                d.detect_round(&state.input(s), 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table VIII: the cost of an INCREMENTAL round (after the warm-up) relative
+//! to a from-scratch HYBRID round on the same state.
+
+use copydet_bench::{small_workloads, BootstrapState};
+use copydet_detect::{CopyDetector, HybridDetector, IncrementalDetector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_incremental_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table8_incremental");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for synth in small_workloads() {
+        let state = BootstrapState::new(&synth);
+
+        group.bench_with_input(BenchmarkId::new("HYBRID_round", &synth.name), &synth, |b, s| {
+            let mut detector = HybridDetector::new();
+            b.iter(|| detector.detect_round(&state.input(s), 1))
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("INCREMENTAL_round3", &synth.name),
+            &synth,
+            |b, s| {
+                // Warm the detector up outside the measurement, then measure
+                // the steady-state incremental rounds.
+                let mut detector = IncrementalDetector::new();
+                let _ = detector.detect_round(&state.input(s), 1);
+                let _ = detector.detect_round(&state.input(s), 2);
+                let mut round = 3;
+                b.iter(|| {
+                    let result = detector.detect_round(&state.input(s), round);
+                    round += 1;
+                    result
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_round);
+criterion_main!(benches);

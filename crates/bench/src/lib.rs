@@ -1,0 +1,82 @@
+//! # copydet-bench
+//!
+//! Shared fixtures for the Criterion benchmarks that regenerate the paper's
+//! timing tables and figures. The benchmark targets live in `benches/`; this
+//! library only provides workload construction and bootstrap state so every
+//! bench measures the same thing on the same data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use copydet_bayes::{CopyParams, SourceAccuracies, ValueProbabilities};
+use copydet_detect::RoundInput;
+use copydet_synth::SyntheticDataset;
+
+/// Scales used by the benchmark workloads: small enough that a full
+/// `cargo bench` stays in the minutes range, large enough that the relative
+/// ordering of the methods is stable.
+pub const BOOK_SCALE: f64 = 0.06;
+/// Stock-family scale (see [`BOOK_SCALE`]).
+pub const STOCK_SCALE: f64 = 0.01;
+/// Seed shared by all benchmark workloads.
+pub const SEED: u64 = 20150301;
+
+/// The four benchmark workloads (Book-CS, Stock-1day, Book-full, Stock-2wk
+/// shapes) at benchmark scale.
+pub fn workloads() -> Vec<SyntheticDataset> {
+    copydet_synth::presets::all_presets(BOOK_SCALE, STOCK_SCALE, SEED)
+}
+
+/// The two smaller workloads used by the quality-oriented benches.
+pub fn small_workloads() -> Vec<SyntheticDataset> {
+    vec![
+        copydet_synth::presets::book_cs(BOOK_SCALE, SEED),
+        copydet_synth::presets::stock_1day(STOCK_SCALE, SEED + 1),
+    ]
+}
+
+/// Bootstrap detection state (uniform accuracies, vote-based probabilities)
+/// for single-round benchmarks.
+pub struct BootstrapState {
+    /// Source accuracies (uniform 0.8).
+    pub accuracies: SourceAccuracies,
+    /// Value probabilities from accuracy-weighted voting.
+    pub probabilities: ValueProbabilities,
+    /// Model priors.
+    pub params: CopyParams,
+}
+
+impl BootstrapState {
+    /// Builds the bootstrap state for a workload.
+    pub fn new(synth: &SyntheticDataset) -> Self {
+        let params = CopyParams::paper_defaults();
+        let accuracies =
+            SourceAccuracies::uniform(synth.dataset.num_sources(), 0.8).expect("valid accuracy");
+        let probabilities = copydet_fusion::value_probabilities(
+            &synth.dataset,
+            &accuracies,
+            None,
+            &copydet_fusion::VoteConfig::new(params),
+        );
+        Self { accuracies, probabilities, params }
+    }
+
+    /// A round input borrowing this state.
+    pub fn input<'a>(&'a self, synth: &'a SyntheticDataset) -> RoundInput<'a> {
+        RoundInput::new(&synth.dataset, &self.accuracies, &self.probabilities, self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let w = small_workloads();
+        assert_eq!(w.len(), 2);
+        let state = BootstrapState::new(&w[0]);
+        let input = state.input(&w[0]);
+        assert_eq!(input.dataset.num_sources(), w[0].dataset.num_sources());
+    }
+}

@@ -1,0 +1,8 @@
+//! Driver for Figure 2 (single-round algorithms: computations and time).
+
+fn main() {
+    let config = copydet_eval::ExperimentConfig::from_env();
+    for table in copydet_eval::experiments::single_round::run(&config) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Driver for Figure 3 (entry processing orders).
+
+fn main() {
+    let config = copydet_eval::ExperimentConfig::from_env();
+    for table in copydet_eval::experiments::ordering::run(&config) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Driver for the motivating-example tables (Tables I–IV worked examples).
+
+fn main() {
+    for table in copydet_eval::experiments::motivating::run() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Driver for Table X (time ratios vs FAGININPUT).
+
+fn main() {
+    let config = copydet_eval::ExperimentConfig::from_env();
+    println!("{}", copydet_eval::experiments::fagin::run(&config));
+}

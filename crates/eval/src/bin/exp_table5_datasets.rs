@@ -1,0 +1,6 @@
+//! Driver for Table V (dataset overview).
+
+fn main() {
+    let config = copydet_eval::ExperimentConfig::from_env();
+    println!("{}", copydet_eval::experiments::datasets::run(&config));
+}

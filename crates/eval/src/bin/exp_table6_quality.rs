@@ -1,0 +1,8 @@
+//! Driver for Table VI (copy-detection and truth-discovery quality).
+
+fn main() {
+    let config = copydet_eval::ExperimentConfig::from_env();
+    for table in copydet_eval::experiments::quality::run(&config) {
+        println!("{table}");
+    }
+}

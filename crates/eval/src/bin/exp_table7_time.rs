@@ -1,0 +1,6 @@
+//! Driver for Table VII (execution time and improvements).
+
+fn main() {
+    let config = copydet_eval::ExperimentConfig::from_env();
+    println!("{}", copydet_eval::experiments::timing::run(&config));
+}

@@ -1,0 +1,6 @@
+//! Driver for Table VIII (INCREMENTAL vs HYBRID per round, pass shares).
+
+fn main() {
+    let config = copydet_eval::ExperimentConfig::from_env();
+    println!("{}", copydet_eval::experiments::incremental::run(&config));
+}

@@ -1,0 +1,6 @@
+//! Driver for Table IX (sampling strategies).
+
+fn main() {
+    let config = copydet_eval::ExperimentConfig::from_env();
+    println!("{}", copydet_eval::experiments::sampling::run(&config));
+}

@@ -1,0 +1,69 @@
+//! Table X — execution-time ratio of HYBRID (single round) and INCREMENTAL
+//! (all rounds) relative to FAGININPUT.
+
+use crate::experiments::workloads;
+use crate::runner::{run_fusion, run_single_round};
+use crate::{ExperimentConfig, Method, TextTable};
+use copydet_bayes::CopyParams;
+
+/// Builds Table X: for every workload, the ratio of HYBRID's single-round
+/// time to FAGININPUT's single-round time, and of INCREMENTAL's all-round
+/// time to FAGININPUT's all-round time (ratios below 1 mean the paper's
+/// methods are faster).
+pub fn run(config: &ExperimentConfig) -> TextTable {
+    let params = CopyParams::paper_defaults();
+    let sets = workloads(config);
+
+    let mut headers = vec!["Method".to_string()];
+    headers.extend(sets.iter().map(|s| s.name.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new("Table X — execution-time ratio w.r.t. FAGININPUT", &header_refs);
+
+    let mut hybrid_row = vec!["HYBRID (single round)".to_string()];
+    let mut incremental_row = vec!["INCREMENTAL (all rounds)".to_string()];
+    for synth in &sets {
+        // Single round: HYBRID vs FAGININPUT, on identical bootstrap state.
+        let mut hybrid = Method::Hybrid.build_detector(&synth.name, config.seed);
+        let hybrid_result = run_single_round(synth, hybrid.as_mut(), params);
+        let mut fagin = Method::FaginInput.build_detector(&synth.name, config.seed);
+        let fagin_result = run_single_round(synth, fagin.as_mut(), params);
+        let single_ratio = if fagin_result.total_time().as_secs_f64() > 0.0 {
+            hybrid_result.total_time().as_secs_f64() / fagin_result.total_time().as_secs_f64()
+        } else {
+            f64::NAN
+        };
+        hybrid_row.push(format!("{:.2}", single_ratio));
+
+        // All rounds: INCREMENTAL vs FAGININPUT inside the fusion loop.
+        let incremental = run_fusion(synth, Method::Incremental, params, config.seed);
+        let fagin_all = run_fusion(synth, Method::FaginInput, params, config.seed);
+        let all_ratio = if fagin_all.detection_time.as_secs_f64() > 0.0 {
+            incremental.detection_time.as_secs_f64() / fagin_all.detection_time.as_secs_f64()
+        } else {
+            f64::NAN
+        };
+        incremental_row.push(format!("{:.2}", all_ratio));
+    }
+    table.add_row(hybrid_row);
+    table.add_row(incremental_row);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fagin_ratios_are_rendered_for_all_workloads() {
+        let table = run(&ExperimentConfig::tiny());
+        assert_eq!(table.num_rows(), 2);
+        assert_eq!(table.rows()[0].len(), 5);
+        // Ratios parse as positive numbers.
+        for row in table.rows() {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 0.0, "ratio {cell} not positive");
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Table VI — copy-detection and truth-discovery quality of the scalable
+//! methods, measured against PAIRWISE and against the gold standard.
+
+use crate::experiments::small_workloads;
+use crate::metrics::{accuracy_variance, fusion_accuracy, fusion_difference, CopyDetectionQuality};
+use crate::runner::run_fusion;
+use crate::{ExperimentConfig, Method, TextTable};
+use copydet_bayes::CopyParams;
+use std::collections::HashSet;
+
+/// Builds the Table VI quality comparison for the Book-CS-like and
+/// Stock-1day-like workloads.
+pub fn run(config: &ExperimentConfig) -> Vec<TextTable> {
+    let params = CopyParams::paper_defaults();
+    let mut tables = Vec::new();
+    for synth in small_workloads(config) {
+        let reference = run_fusion(&synth, Method::Pairwise, params, config.seed);
+        let reference_copying: HashSet<_> = reference
+            .outcome
+            .final_detection
+            .as_ref()
+            .map(|d| d.copying_pairs().collect())
+            .unwrap_or_default();
+        let gold_truths = &synth.gold.true_values;
+
+        let mut table = TextTable::new(
+            format!("Table VI — quality on {} (vs PAIRWISE)", synth.name),
+            &["Method", "Prec", "Rec", "F-msr", "Fusion accu", "Fusion diff", "Accu var"],
+        );
+        // PAIRWISE row: quality against itself is 1 by definition; report its
+        // fusion accuracy against the gold standard.
+        table.add_row(vec![
+            "PAIRWISE".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!("{:.3}", fusion_accuracy(&reference.outcome.truths, gold_truths, None)),
+            "-".into(),
+            "-".into(),
+        ]);
+
+        for method in [
+            Method::Sample1,
+            Method::Sample2,
+            Method::Index,
+            Method::Hybrid,
+            Method::Incremental,
+            Method::ScaleSample,
+        ] {
+            let run = run_fusion(&synth, method, params, config.seed);
+            let copying: HashSet<_> = run
+                .outcome
+                .final_detection
+                .as_ref()
+                .map(|d| d.copying_pairs().collect())
+                .unwrap_or_default();
+            let quality = CopyDetectionQuality::compare(&copying, &reference_copying);
+            table.add_row(vec![
+                method.name().to_string(),
+                format!("{:.3}", quality.precision),
+                format!("{:.3}", quality.recall),
+                format!("{:.3}", quality.f_measure),
+                format!("{:.3}", fusion_accuracy(&run.outcome.truths, gold_truths, None)),
+                format!("{:.3}", fusion_difference(&run.outcome.truths, &reference.outcome.truths)),
+                format!(
+                    "{:.3}",
+                    accuracy_variance(&run.outcome.accuracies, &reference.outcome.accuracies)
+                ),
+            ]);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_tables_have_expected_shape_and_index_is_exact() {
+        let tables = run(&ExperimentConfig::tiny());
+        assert_eq!(tables.len(), 2);
+        for table in &tables {
+            assert_eq!(table.num_rows(), 7);
+            // INDEX (row 3) reproduces PAIRWISE exactly: P = R = F = 1 and
+            // fusion difference 0 (Proposition 3.5 / Table VI).
+            let index_row = &table.rows()[3];
+            assert_eq!(index_row[0], "INDEX");
+            assert_eq!(index_row[1], "1.000");
+            assert_eq!(index_row[2], "1.000");
+            assert_eq!(index_row[3], "1.000");
+            assert_eq!(index_row[5], "0.000");
+            // HYBRID and INCREMENTAL stay close to PAIRWISE (the paper
+            // reports F-measure ≥ .96; we allow a slightly wider margin at
+            // tiny scale).
+            for row_idx in [4usize, 5] {
+                let f: f64 = table.rows()[row_idx][3].parse().unwrap();
+                assert!(f >= 0.8, "{} F-measure {f} too low", table.rows()[row_idx][0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Accuracy-weighted voting with copy discounting: the "value truthfulness"
+//! and "source accuracy" computations of the iterative loop (Section II-A,
+//! following the ACCU / ACCUCOPY formulation of Dong et al. VLDB'09).
+
+use copydet_bayes::{CopyParams, SourceAccuracies, ValueProbabilities};
+use copydet_detect::DetectionResult;
+use copydet_model::{Dataset, SourceId, SourcePair};
+
+/// Configuration of the voting step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoteConfig {
+    /// Model priors; `n_false_values` sizes the domain of each item and
+    /// `selectivity` scales the copy discount.
+    pub params: CopyParams,
+    /// Probability of copying assumed for pairs the detector flagged without
+    /// reporting an exact posterior (early-terminated pairs carry strong
+    /// evidence, so this defaults to 0.99).
+    pub default_copy_probability: f64,
+}
+
+impl VoteConfig {
+    /// The default configuration for the given model priors.
+    pub fn new(params: CopyParams) -> Self {
+        Self { params, default_copy_probability: 0.99 }
+    }
+
+    /// The vote weight of a source: `A'(S) = ln(n·A(S) / (1 − A(S)))`.
+    fn vote_weight(&self, accuracy: f64) -> f64 {
+        (self.params.n() * accuracy / (1.0 - accuracy)).ln()
+    }
+}
+
+/// Probability that the pair copies (in either direction), as far as the
+/// detector's result can tell: `1 − posterior` when the posterior is known,
+/// the configured default for pairs decided early, and 0 for pairs judged
+/// independent (or never materialized).
+fn copy_probability(result: Option<&DetectionResult>, pair: SourcePair, config: &VoteConfig) -> f64 {
+    let Some(result) = result else { return 0.0 };
+    match result.outcomes.get(&pair) {
+        Some(outcome) if outcome.decision.is_copying() => outcome
+            .posterior
+            .map(|p| 1.0 - p)
+            .unwrap_or(config.default_copy_probability),
+        _ => 0.0,
+    }
+}
+
+/// Computes `P(D.v)` for every provided value from the current source
+/// accuracies, discounting votes that were probably copied.
+///
+/// For each value of each item, providers are counted in decreasing accuracy
+/// order; provider `S`'s vote weight is multiplied by
+/// `Π (1 − s·Pr(copying))` over the already-counted providers `S'` that the
+/// copy-detection result links to `S`. Probabilities are normalized over the
+/// provided values plus the `n + 1 − k` unprovided candidate values of the
+/// item's domain (each carrying vote weight 0), using a log-sum-exp so large
+/// vote counts cannot overflow.
+pub fn value_probabilities(
+    dataset: &Dataset,
+    accuracies: &SourceAccuracies,
+    copy_result: Option<&DetectionResult>,
+    config: &VoteConfig,
+) -> ValueProbabilities {
+    let mut probabilities = ValueProbabilities::new(dataset.num_items());
+    let n_plus_one = config.params.n() + 1.0;
+    for item in dataset.items() {
+        let groups = dataset.values_of_item(item);
+        if groups.is_empty() {
+            continue;
+        }
+        // Vote count per provided value.
+        let mut votes: Vec<f64> = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut providers: Vec<SourceId> = group.providers.clone();
+            providers.sort_by(|&a, &b| {
+                accuracies
+                    .get(b)
+                    .partial_cmp(&accuracies.get(a))
+                    .expect("accuracies are never NaN")
+            });
+            let mut vote = 0.0;
+            for (idx, &s) in providers.iter().enumerate() {
+                let mut independence = 1.0;
+                for &earlier in &providers[..idx] {
+                    let p_copy = copy_probability(copy_result, SourcePair::new(s, earlier), config);
+                    independence *= 1.0 - config.params.selectivity * p_copy;
+                }
+                vote += config.vote_weight(accuracies.get(s)) * independence;
+            }
+            votes.push(vote);
+        }
+        // Normalize: provided values have weight e^vote, the remaining
+        // (n + 1 − k) candidate values have weight e^0 = 1.
+        let unseen = (n_plus_one - groups.len() as f64).max(0.0);
+        let max_vote = votes.iter().copied().fold(0.0f64, f64::max);
+        let denom: f64 = votes.iter().map(|v| (v - max_vote).exp()).sum::<f64>()
+            + unseen * (-max_vote).exp();
+        for (group, vote) in groups.iter().zip(&votes) {
+            let p = ((vote - max_vote).exp() / denom).clamp(1e-9, 1.0 - 1e-9);
+            probabilities
+                .set(group.item, group.value, p)
+                .expect("probability is clamped into range");
+        }
+    }
+    probabilities
+}
+
+/// Recomputes every source's accuracy as the mean probability of the values
+/// it provides (sources with no claims keep the supplied fallback).
+pub fn accuracy_from_probabilities(
+    dataset: &Dataset,
+    probabilities: &ValueProbabilities,
+    fallback: f64,
+) -> SourceAccuracies {
+    let accs: Vec<f64> = dataset
+        .sources()
+        .map(|s| {
+            let claims = dataset.claims_of(s);
+            if claims.is_empty() {
+                return fallback;
+            }
+            let sum: f64 = claims.iter().map(|&(d, v)| probabilities.get(d, v)).sum();
+            sum / claims.len() as f64
+        })
+        .collect();
+    SourceAccuracies::from_vec(accs).expect("mean probabilities are in [0, 1]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copydet_detect::{pairwise_detection, RoundInput};
+    use copydet_model::motivating_example;
+
+    fn config() -> VoteConfig {
+        VoteConfig::new(CopyParams::paper_defaults())
+    }
+
+    #[test]
+    fn accurate_majorities_get_high_probability() {
+        let ex = motivating_example();
+        let accuracies = SourceAccuracies::from_vec(ex.accuracies.clone()).unwrap();
+        let probs = value_probabilities(&ex.dataset, &accuracies, None, &config());
+        let nj = ex.dataset.item_by_name("NJ").unwrap();
+        let trenton = ex.dataset.value_by_str("Trenton").unwrap();
+        let atlantic = ex.dataset.value_by_str("Atlantic").unwrap();
+        assert!(probs.get(nj, trenton) > 0.9);
+        assert!(probs.get(nj, atlantic) < 0.1);
+        // Probabilities of an item's values never exceed 1 in total.
+        let total: f64 = ex
+            .dataset
+            .values_of_item(nj)
+            .iter()
+            .map(|g| probs.get(nj, g.value))
+            .sum();
+        assert!(total <= 1.0 + 1e-9);
+    }
+
+    /// Copy discounting weakens a copier clique: with the copy-detection
+    /// result plugged in, the false New York value loses probability
+    /// relative to ignoring copying.
+    #[test]
+    fn copy_discount_weakens_copier_cliques() {
+        let ex = motivating_example();
+        let accuracies = SourceAccuracies::from_vec(vec![0.8; 10]).unwrap();
+        let vote_config = config();
+        // With uniform accuracies the NewYork clique (3 providers) beats
+        // Albany (3 providers, but one is S5) — at least it is close. Now
+        // bring in copy detection computed from the known state.
+        let known_acc = SourceAccuracies::from_vec(ex.accuracies.clone()).unwrap();
+        let known_probs = ValueProbabilities::from_table(ex.probability_table()).unwrap();
+        let input = RoundInput::new(&ex.dataset, &known_acc, &known_probs, vote_config.params);
+        let detection = pairwise_detection(&input);
+
+        let ny = ex.dataset.item_by_name("NY").unwrap();
+        let newyork = ex.dataset.value_by_str("NewYork").unwrap();
+        let without = value_probabilities(&ex.dataset, &accuracies, None, &vote_config);
+        let with = value_probabilities(&ex.dataset, &accuracies, Some(&detection), &vote_config);
+        assert!(
+            with.get(ny, newyork) < without.get(ny, newyork) + 1e-12,
+            "discounted probability should not exceed the undiscounted one"
+        );
+    }
+
+    #[test]
+    fn accuracy_recomputation_matches_mean_probability() {
+        let ex = motivating_example();
+        let probs = ValueProbabilities::from_table(ex.probability_table()).unwrap();
+        let acc = accuracy_from_probabilities(&ex.dataset, &probs, 0.5);
+        // S0 provides Trenton (.97), Phoenix (.95), Albany (.94), Austin (.96).
+        let expected = (0.97 + 0.95 + 0.94 + 0.96) / 4.0;
+        assert!((acc.get(copydet_model::SourceId::new(0)) - expected).abs() < 1e-9);
+        // A source with mostly false values ends up with low accuracy.
+        assert!(acc.get(copydet_model::SourceId::new(6)) < 0.1);
+    }
+
+    #[test]
+    fn sources_without_claims_keep_fallback_accuracy() {
+        let mut b = copydet_model::DatasetBuilder::new();
+        b.add_claim("A", "D", "x");
+        b.source("B"); // registered but claims nothing
+        let ds = b.build();
+        let probs = ValueProbabilities::uniform_over_dataset(&ds, 0.7).unwrap();
+        let acc = accuracy_from_probabilities(&ds, &probs, 0.42);
+        let b_id = ds.source_by_name("B").unwrap();
+        assert!((acc.get(b_id) - 0.42).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for the fusion layer.
+
+use std::fmt;
+
+/// Errors from configuring or running truth finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusionError {
+    /// A configuration value was outside its valid range.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Why the value is invalid.
+        message: String,
+    },
+    /// The dataset contains no claims, so there is nothing to fuse.
+    EmptyDataset,
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::InvalidConfig { field, message } => {
+                write!(f, "invalid fusion configuration ({field}): {message}")
+            }
+            FusionError::EmptyDataset => write!(f, "cannot run fusion on an empty dataset"),
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = FusionError::InvalidConfig { field: "initial_accuracy", message: "must be in (0,1)".into() };
+        assert!(e.to_string().contains("initial_accuracy"));
+        assert!(FusionError::EmptyDataset.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,71 @@
+//! The `Ē` suffix: the low-score entries whose combined evidence can never
+//! establish copying on its own (Section III, "Optimizing with the index").
+
+/// Given entry scores sorted in decreasing order, returns the index at which
+/// the `Ē` suffix starts: the longest suffix whose scores sum to strictly
+/// less than `theta_ind = ln(β/2α)`.
+///
+/// Pairs of sources whose shared values all lie in `Ē` satisfy
+/// `C→ < θind` and `C← < θind`, hence `Pr(S1⊥S2|Φ) > 0.5`, so they can be
+/// skipped entirely.
+pub fn ebar_start(sorted_scores: &[f64], theta_ind: f64) -> usize {
+    let mut sum = 0.0;
+    let mut start = sorted_scores.len();
+    while start > 0 {
+        let candidate = sum + sorted_scores[start - 1];
+        if candidate < theta_ind {
+            sum = candidate;
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3_6_last_two_entries_form_ebar() {
+        // Table III scores in decreasing order; θind = ln(.8/.2) = 1.386.
+        // The paper: ".43 + .43 < ln(.8/.2) = 1.39" — the last two entries
+        // form Ē.
+        let scores = [4.59, 4.12, 4.05, 4.05, 3.98, 3.97, 3.97, 3.83, 1.62, 1.51, 0.84, 0.43, 0.43];
+        let start = ebar_start(&scores, (0.8f64 / 0.2).ln());
+        assert_eq!(start, 11);
+        assert_eq!(scores.len() - start, 2);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(ebar_start(&[], 1.0), 0);
+        assert_eq!(ebar_start(&[0.5], 1.0), 0);
+        assert_eq!(ebar_start(&[1.5], 1.0), 1);
+    }
+
+    #[test]
+    fn all_entries_below_threshold() {
+        // Suffix grows until adding the next score would reach θind.
+        let scores = [0.4, 0.3, 0.2, 0.1];
+        // Sum of all = 1.0 >= 1.0, so not all can be in Ē; the suffix
+        // 0.3+0.2+0.1 = 0.6 < 1.0 is.
+        assert_eq!(ebar_start(&scores, 1.0), 1);
+        // With a generous threshold everything is prunable.
+        assert_eq!(ebar_start(&scores, 1.1), 0);
+    }
+
+    #[test]
+    fn suffix_sum_is_strictly_below_threshold() {
+        let scores = [5.0, 2.0, 1.0, 0.9, 0.4, 0.05];
+        let theta = 1.39;
+        let start = ebar_start(&scores, theta);
+        let suffix_sum: f64 = scores[start..].iter().sum();
+        assert!(suffix_sum < theta);
+        if start > 0 {
+            let bigger: f64 = scores[start - 1..].iter().sum();
+            assert!(bigger >= theta);
+        }
+    }
+}

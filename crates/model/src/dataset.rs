@@ -1,0 +1,404 @@
+//! The immutable [`Dataset`] snapshot and its access paths.
+
+use crate::ids::{ItemId, SourceId, ValueId};
+use crate::interner::Interner;
+use crate::observation::{Claim, ClaimRef};
+use crate::stats::DatasetStats;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One distinct value of one data item together with the sources that provide
+/// it.
+///
+/// This is the unit from which the inverted index is built: an index entry
+/// exists for every group with at least two providers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItemValueGroup {
+    /// The data item.
+    pub item: ItemId,
+    /// The distinct value.
+    pub value: ValueId,
+    /// Sources providing `value` for `item`, sorted by id.
+    pub providers: Vec<SourceId>,
+}
+
+impl ItemValueGroup {
+    /// Number of sources that provide this value.
+    pub fn support(&self) -> usize {
+        self.providers.len()
+    }
+}
+
+/// An immutable snapshot of all claims made by a set of sources over a set of
+/// data items.
+///
+/// The dataset owns three mutually consistent representations of the claims:
+///
+/// 1. per-source claim lists sorted by item (`claims_of`),
+/// 2. per-item groups of distinct values with their providers
+///    (`values_of_item` / `groups`),
+/// 3. name/id maps for sources, items and values.
+///
+/// A source provides **at most one** value per item (duplicate insertions in
+/// the builder keep the last value), so within one item's groups the provider
+/// sets are disjoint — the property the paper relies on when building the
+/// inverted index ("the presence of a source in an index entry guarantees its
+/// absence in all entries that correspond to other values for the same data
+/// item").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    pub(crate) source_names: Vec<String>,
+    pub(crate) item_names: Vec<String>,
+    pub(crate) values: Interner,
+    /// `claims[s]` = claims of source `s`, sorted by item id.
+    pub(crate) claims: Vec<Vec<(ItemId, ValueId)>>,
+    /// `item_groups[d]` = distinct values of item `d` with their providers.
+    pub(crate) item_groups: Vec<Vec<ItemValueGroup>>,
+    /// Total number of claims.
+    pub(crate) num_claims: usize,
+}
+
+impl Dataset {
+    /// Number of sources.
+    pub fn num_sources(&self) -> usize {
+        self.source_names.len()
+    }
+
+    /// Number of data items.
+    pub fn num_items(&self) -> usize {
+        self.item_names.len()
+    }
+
+    /// Number of distinct value strings across all items.
+    pub fn num_distinct_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total number of `(source, item, value)` claims.
+    pub fn num_claims(&self) -> usize {
+        self.num_claims
+    }
+
+    /// Iterator over all source ids.
+    pub fn sources(&self) -> impl Iterator<Item = SourceId> + '_ {
+        (0..self.num_sources()).map(SourceId::from_index)
+    }
+
+    /// Iterator over all item ids.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        (0..self.num_items()).map(ItemId::from_index)
+    }
+
+    /// Name of a source.
+    pub fn source_name(&self, s: SourceId) -> &str {
+        &self.source_names[s.index()]
+    }
+
+    /// Name of a data item.
+    pub fn item_name(&self, d: ItemId) -> &str {
+        &self.item_names[d.index()]
+    }
+
+    /// String of a value.
+    pub fn value_str(&self, v: ValueId) -> &str {
+        self.values.resolve(v)
+    }
+
+    /// Looks up a source by name.
+    pub fn source_by_name(&self, name: &str) -> Option<SourceId> {
+        self.source_names
+            .iter()
+            .position(|n| n == name)
+            .map(SourceId::from_index)
+    }
+
+    /// Looks up an item by name.
+    pub fn item_by_name(&self, name: &str) -> Option<ItemId> {
+        self.item_names
+            .iter()
+            .position(|n| n == name)
+            .map(ItemId::from_index)
+    }
+
+    /// Looks up a value id by string.
+    pub fn value_by_str(&self, s: &str) -> Option<ValueId> {
+        self.values.get(s)
+    }
+
+    /// The claims of source `s`, sorted by item id.
+    pub fn claims_of(&self, s: SourceId) -> &[(ItemId, ValueId)] {
+        &self.claims[s.index()]
+    }
+
+    /// Number of items covered by source `s`.
+    pub fn coverage(&self, s: SourceId) -> usize {
+        self.claims[s.index()].len()
+    }
+
+    /// The value that source `s` provides for item `d`, if any.
+    pub fn value_of(&self, s: SourceId, d: ItemId) -> Option<ValueId> {
+        let claims = &self.claims[s.index()];
+        claims
+            .binary_search_by_key(&d, |&(item, _)| item)
+            .ok()
+            .map(|i| claims[i].1)
+    }
+
+    /// Returns `true` if both sources provide *some* value for item `d`.
+    pub fn shares_item(&self, a: SourceId, b: SourceId, d: ItemId) -> bool {
+        self.value_of(a, d).is_some() && self.value_of(b, d).is_some()
+    }
+
+    /// Distinct values of item `d`, each with its providers.
+    pub fn values_of_item(&self, d: ItemId) -> &[ItemValueGroup] {
+        &self.item_groups[d.index()]
+    }
+
+    /// Sources providing value `v` for item `d` (empty if none).
+    pub fn providers_of(&self, d: ItemId, v: ValueId) -> &[SourceId] {
+        self.item_groups[d.index()]
+            .iter()
+            .find(|g| g.value == v)
+            .map(|g| g.providers.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of sources that provide *any* value for item `d`.
+    pub fn item_provider_count(&self, d: ItemId) -> usize {
+        self.item_groups[d.index()].iter().map(|g| g.providers.len()).sum()
+    }
+
+    /// Iterator over every `(item, value)` group in the dataset, in item
+    /// order.
+    pub fn groups(&self) -> impl Iterator<Item = &ItemValueGroup> + '_ {
+        self.item_groups.iter().flatten()
+    }
+
+    /// Iterator over all claims as id triples, grouped by source.
+    pub fn claims_iter(&self) -> impl Iterator<Item = Claim> + '_ {
+        self.claims.iter().enumerate().flat_map(|(s, list)| {
+            let s = SourceId::from_index(s);
+            list.iter().map(move |&(item, value)| Claim { source: s, item, value })
+        })
+    }
+
+    /// Iterator over all claims with names resolved.
+    pub fn claim_refs(&self) -> impl Iterator<Item = ClaimRef<'_>> + '_ {
+        self.claims_iter().map(move |c| ClaimRef {
+            source: self.source_name(c.source),
+            item: self.item_name(c.item),
+            value: self.value_str(c.value),
+        })
+    }
+
+    /// Number of data items shared by two sources (both provide some value),
+    /// computed by merging the two sorted claim lists.
+    ///
+    /// The detection algorithms use the bulk variant in `copydet-index`
+    /// (shared-item counting over the whole dataset); this per-pair query is
+    /// mostly useful for tests and diagnostics.
+    pub fn shared_item_count(&self, a: SourceId, b: SourceId) -> usize {
+        let (mut ia, mut ib) = (0, 0);
+        let (ca, cb) = (&self.claims[a.index()], &self.claims[b.index()]);
+        let mut count = 0;
+        while ia < ca.len() && ib < cb.len() {
+            match ca[ia].0.cmp(&cb[ib].0) {
+                std::cmp::Ordering::Less => ia += 1,
+                std::cmp::Ordering::Greater => ib += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    ia += 1;
+                    ib += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Number of data items on which two sources provide the *same* value.
+    pub fn shared_value_count(&self, a: SourceId, b: SourceId) -> usize {
+        let (mut ia, mut ib) = (0, 0);
+        let (ca, cb) = (&self.claims[a.index()], &self.claims[b.index()]);
+        let mut count = 0;
+        while ia < ca.len() && ib < cb.len() {
+            match ca[ia].0.cmp(&cb[ib].0) {
+                std::cmp::Ordering::Less => ia += 1,
+                std::cmp::Ordering::Greater => ib += 1,
+                std::cmp::Ordering::Equal => {
+                    if ca[ia].1 == cb[ib].1 {
+                        count += 1;
+                    }
+                    ia += 1;
+                    ib += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Computes summary statistics for the dataset.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::compute(self)
+    }
+
+    /// Projects the dataset onto a subset of data items, keeping source and
+    /// item identifiers (and names) stable.
+    ///
+    /// Claims for items outside `keep` are dropped; everything else —
+    /// including sources that end up with zero claims — is preserved, so copy
+    /// decisions on the projection can be compared pair-by-pair with
+    /// decisions on the full dataset. This is the substrate for the sampling
+    /// strategies (SAMPLE1/SAMPLE2/SCALESAMPLE).
+    pub fn project_items(&self, keep: &HashSet<ItemId>) -> Dataset {
+        let claims: Vec<Vec<(ItemId, ValueId)>> = self
+            .claims
+            .iter()
+            .map(|list| list.iter().copied().filter(|(d, _)| keep.contains(d)).collect())
+            .collect();
+        let item_groups: Vec<Vec<ItemValueGroup>> = self
+            .item_groups
+            .iter()
+            .enumerate()
+            .map(|(d, groups)| {
+                if keep.contains(&ItemId::from_index(d)) {
+                    groups.clone()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let num_claims = claims.iter().map(Vec::len).sum();
+        Dataset {
+            source_names: self.source_names.clone(),
+            item_names: self.item_names.clone(),
+            values: self.values.clone(),
+            claims,
+            item_groups,
+            num_claims,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatasetBuilder;
+
+    fn sample() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_claim("S0", "NJ", "Trenton");
+        b.add_claim("S0", "AZ", "Phoenix");
+        b.add_claim("S1", "NJ", "Trenton");
+        b.add_claim("S1", "AZ", "Tempe");
+        b.add_claim("S2", "NJ", "Atlantic");
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let ds = sample();
+        assert_eq!(ds.num_sources(), 3);
+        assert_eq!(ds.num_items(), 2);
+        assert_eq!(ds.num_claims(), 5);
+        assert_eq!(ds.num_distinct_values(), 4);
+    }
+
+    #[test]
+    fn name_lookups_roundtrip() {
+        let ds = sample();
+        let s1 = ds.source_by_name("S1").unwrap();
+        assert_eq!(ds.source_name(s1), "S1");
+        let nj = ds.item_by_name("NJ").unwrap();
+        assert_eq!(ds.item_name(nj), "NJ");
+        let v = ds.value_by_str("Tempe").unwrap();
+        assert_eq!(ds.value_str(v), "Tempe");
+        assert!(ds.source_by_name("nope").is_none());
+        assert!(ds.item_by_name("nope").is_none());
+        assert!(ds.value_by_str("nope").is_none());
+    }
+
+    #[test]
+    fn value_of_and_sharing() {
+        let ds = sample();
+        let s0 = ds.source_by_name("S0").unwrap();
+        let s1 = ds.source_by_name("S1").unwrap();
+        let s2 = ds.source_by_name("S2").unwrap();
+        let nj = ds.item_by_name("NJ").unwrap();
+        let az = ds.item_by_name("AZ").unwrap();
+
+        assert_eq!(ds.value_of(s0, nj), ds.value_by_str("Trenton"));
+        assert_eq!(ds.value_of(s2, az), None);
+        assert!(ds.shares_item(s0, s1, nj));
+        assert!(!ds.shares_item(s0, s2, az));
+
+        assert_eq!(ds.shared_item_count(s0, s1), 2);
+        assert_eq!(ds.shared_value_count(s0, s1), 1);
+        assert_eq!(ds.shared_item_count(s0, s2), 1);
+        assert_eq!(ds.shared_value_count(s0, s2), 0);
+    }
+
+    #[test]
+    fn provider_groups_are_disjoint_per_item() {
+        let ds = sample();
+        let nj = ds.item_by_name("NJ").unwrap();
+        let groups = ds.values_of_item(nj);
+        assert_eq!(groups.len(), 2);
+        let mut all: Vec<SourceId> = groups.iter().flat_map(|g| g.providers.clone()).collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(before, all.len(), "a source appears in two groups of one item");
+        assert_eq!(ds.item_provider_count(nj), 3);
+    }
+
+    #[test]
+    fn providers_of_specific_value() {
+        let ds = sample();
+        let nj = ds.item_by_name("NJ").unwrap();
+        let trenton = ds.value_by_str("Trenton").unwrap();
+        let provs = ds.providers_of(nj, trenton);
+        assert_eq!(provs.len(), 2);
+        let tempe = ds.value_by_str("Tempe").unwrap();
+        assert!(ds.providers_of(nj, tempe).is_empty());
+    }
+
+    #[test]
+    fn claims_iterators_are_consistent() {
+        let ds = sample();
+        assert_eq!(ds.claims_iter().count(), ds.num_claims());
+        assert_eq!(ds.claim_refs().count(), ds.num_claims());
+        let any = ds
+            .claim_refs()
+            .any(|c| c.source == "S1" && c.item == "AZ" && c.value == "Tempe");
+        assert!(any);
+    }
+
+    #[test]
+    fn project_items_keeps_ids_stable() {
+        let ds = sample();
+        let nj = ds.item_by_name("NJ").unwrap();
+        let az = ds.item_by_name("AZ").unwrap();
+        let keep: HashSet<ItemId> = [nj].into_iter().collect();
+        let proj = ds.project_items(&keep);
+        assert_eq!(proj.num_sources(), ds.num_sources());
+        assert_eq!(proj.num_items(), ds.num_items());
+        assert_eq!(proj.num_claims(), 3);
+        assert!(proj.values_of_item(az).is_empty());
+        let s0 = proj.source_by_name("S0").unwrap();
+        assert_eq!(proj.value_of(s0, az), None);
+        assert_eq!(proj.value_of(s0, nj), ds.value_of(s0, nj));
+    }
+
+    #[test]
+    fn group_support() {
+        let ds = sample();
+        let nj = ds.item_by_name("NJ").unwrap();
+        let trenton = ds.value_by_str("Trenton").unwrap();
+        let g = ds
+            .values_of_item(nj)
+            .iter()
+            .find(|g| g.value == trenton)
+            .unwrap();
+        assert_eq!(g.support(), 2);
+    }
+}

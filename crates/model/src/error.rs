@@ -1,0 +1,77 @@
+//! Error type for dataset construction and (de)serialization.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, loading or storing datasets.
+#[derive(Debug)]
+pub enum ModelError {
+    /// An I/O error while reading or writing a dataset file.
+    Io(io::Error),
+    /// A malformed line in a TSV dataset file.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of what was wrong with the line.
+        message: String,
+    },
+    /// A query referenced a source, item or value that does not exist in the
+    /// dataset.
+    UnknownEntity(String),
+    /// The dataset is empty where a non-empty one is required.
+    EmptyDataset,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Io(e) => write!(f, "I/O error: {e}"),
+            ModelError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            ModelError::UnknownEntity(what) => write!(f, "unknown entity: {what}"),
+            ModelError::EmptyDataset => write!(f, "the dataset contains no claims"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ModelError {
+    fn from(e: io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::Parse {
+            line: 3,
+            message: "expected 3 fields".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(ModelError::EmptyDataset.to_string().contains("no claims"));
+        assert!(ModelError::UnknownEntity("source X".into())
+            .to_string()
+            .contains("source X"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = ModelError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,139 @@
+//! A simple string interner mapping value strings to dense [`ValueId`]s.
+
+use crate::ids::ValueId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interns value strings so the rest of the system can work with dense
+/// `u32`-backed [`ValueId`]s.
+///
+/// Interning is append-only: once a string has been assigned an id, the id is
+/// stable for the lifetime of the interner. Lookup is `O(1)` expected in both
+/// directions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Interner {
+    strings: Vec<String>,
+    #[serde(skip)]
+    lookup: HashMap<String, ValueId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its id. Returns the existing id if `s` has been
+    /// interned before.
+    pub fn intern(&mut self, s: &str) -> ValueId {
+        if let Some(&id) = self.lookup.get(s) {
+            return id;
+        }
+        let id = ValueId::from_index(self.strings.len());
+        self.strings.push(s.to_owned());
+        self.lookup.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Returns the id of `s` if it has been interned.
+    pub fn get(&self, s: &str) -> Option<ValueId> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Returns the string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: ValueId) -> &str {
+        &self.strings[id.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(id, string)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ValueId, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ValueId::from_index(i), s.as_str()))
+    }
+
+    /// Rebuilds the reverse-lookup table. Needed after deserialization because
+    /// the lookup map is not serialized.
+    pub fn rebuild_lookup(&mut self) {
+        self.lookup = self
+            .strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), ValueId::from_index(i)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Trenton");
+        let b = i.intern("Phoenix");
+        let a2 = i.intern("Trenton");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "Trenton");
+        assert_eq!(i.resolve(b), "Phoenix");
+    }
+
+    #[test]
+    fn get_returns_none_for_unknown() {
+        let mut i = Interner::new();
+        i.intern("x");
+        assert!(i.get("y").is_none());
+        assert_eq!(i.get("x"), Some(ValueId::new(0)));
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut i = Interner::new();
+        let ids: Vec<_> = ["a", "b", "c"].iter().map(|s| i.intern(s)).collect();
+        let collected: Vec<_> = i.iter().collect();
+        assert_eq!(collected.len(), 3);
+        for (k, (id, s)) in collected.iter().enumerate() {
+            assert_eq!(*id, ids[k]);
+            assert_eq!(*s, ["a", "b", "c"][k]);
+        }
+    }
+
+    #[test]
+    fn rebuild_lookup_restores_queries() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let mut copy = Interner {
+            strings: i.strings.clone(),
+            lookup: HashMap::new(),
+        };
+        assert!(copy.get("a").is_none());
+        copy.rebuild_lookup();
+        assert_eq!(copy.get("a"), Some(ValueId::new(0)));
+        assert_eq!(copy.get("b"), Some(ValueId::new(1)));
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! A minimal tab-separated claim format for importing and exporting datasets.
+//!
+//! The format is one claim per line:
+//!
+//! ```text
+//! <source-name> \t <item-name> \t <value>
+//! ```
+//!
+//! Lines that are empty or start with `#` are ignored. Values may contain any
+//! character except tab and newline. This mirrors the flat triple dumps the
+//! paper's datasets (AbeBooks / stock crawls) were distributed as, without
+//! pulling in an external CSV dependency.
+
+use crate::builder::DatasetBuilder;
+use crate::dataset::Dataset;
+use crate::error::ModelError;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses a dataset from a TSV reader.
+pub fn read_dataset<R: Read>(reader: R) -> Result<Dataset, ModelError> {
+    let mut builder = DatasetBuilder::new();
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split('\t');
+        let source = fields.next().unwrap_or("");
+        let item = fields.next();
+        let value = fields.next();
+        let extra = fields.next();
+        match (item, value, extra) {
+            (Some(item), Some(value), None) if !source.is_empty() && !item.is_empty() => {
+                builder.add_claim(source, item, value);
+            }
+            _ => {
+                return Err(ModelError::Parse {
+                    line: lineno + 1,
+                    message: format!(
+                        "expected exactly 3 tab-separated non-empty fields, got {trimmed:?}"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Parses a dataset from a TSV string.
+pub fn parse_dataset(text: &str) -> Result<Dataset, ModelError> {
+    read_dataset(text.as_bytes())
+}
+
+/// Reads a dataset from a TSV file on disk.
+pub fn load_dataset<P: AsRef<Path>>(path: P) -> Result<Dataset, ModelError> {
+    let file = std::fs::File::open(path)?;
+    read_dataset(file)
+}
+
+/// Writes a dataset as TSV to `writer`, one claim per line, grouped by source
+/// in id order.
+pub fn write_dataset<W: Write>(ds: &Dataset, mut writer: W) -> Result<(), ModelError> {
+    for claim in ds.claim_refs() {
+        writeln!(writer, "{}\t{}\t{}", claim.source, claim.item, claim.value)?;
+    }
+    Ok(())
+}
+
+/// Serializes a dataset to a TSV string.
+pub fn dataset_to_string(ds: &Dataset) -> String {
+    let mut out = Vec::new();
+    write_dataset(ds, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("dataset names and values are valid UTF-8")
+}
+
+/// Writes a dataset to a TSV file on disk.
+pub fn save_dataset<P: AsRef<Path>>(ds: &Dataset, path: P) -> Result<(), ModelError> {
+    let file = std::fs::File::create(path)?;
+    write_dataset(ds, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let ds = parse_dataset("S0\tNJ\tTrenton\nS1\tNJ\tAtlantic\n# comment\n\nS1\tAZ\tPhoenix\n")
+            .unwrap();
+        assert_eq!(ds.num_sources(), 2);
+        assert_eq!(ds.num_items(), 2);
+        assert_eq!(ds.num_claims(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        let err = parse_dataset("S0\tNJ\n").unwrap_err();
+        match err {
+            ModelError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(parse_dataset("S0\tNJ\tTrenton\textra\n").is_err());
+        assert!(parse_dataset("\tNJ\tTrenton\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_string() {
+        let original = parse_dataset("S0\tNJ\tTrenton\nS1\tNJ\tAtlantic\nS1\tAZ\tPhoenix\n").unwrap();
+        let text = dataset_to_string(&original);
+        let reparsed = parse_dataset(&text).unwrap();
+        assert_eq!(reparsed.num_sources(), original.num_sources());
+        assert_eq!(reparsed.num_items(), original.num_items());
+        assert_eq!(reparsed.num_claims(), original.num_claims());
+        // every original claim survives
+        for c in original.claim_refs() {
+            let s = reparsed.source_by_name(c.source).unwrap();
+            let d = reparsed.item_by_name(c.item).unwrap();
+            let v = reparsed.value_of(s, d).unwrap();
+            assert_eq!(reparsed.value_str(v), c.value);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("copydet_model_tsv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.tsv");
+        let ds = parse_dataset("A\tD1\tx\nB\tD1\ty\n").unwrap();
+        save_dataset(&ds, &path).unwrap();
+        let loaded = load_dataset(&path).unwrap();
+        assert_eq!(loaded.num_claims(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_dataset("/definitely/not/a/file.tsv").unwrap_err();
+        assert!(matches!(err, ModelError::Io(_)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the dataset model: the invariants that every
+//! downstream algorithm relies on must hold for arbitrary claim sets.
+
+use copydet_model::{DatasetBuilder, ItemId};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Strategy producing arbitrary claim triples over small name universes so
+/// collisions (shared items, conflicting values, duplicate claims) are
+/// frequent.
+fn claims_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec((0u8..12, 0u8..10, 0u8..6), 0..120)
+}
+
+proptest! {
+    /// A source never appears in two value groups of the same item, and the
+    /// union of the groups' providers equals the set of sources claiming the
+    /// item.
+    #[test]
+    fn provider_groups_partition_item_providers(claims in claims_strategy()) {
+        let mut b = DatasetBuilder::new();
+        for (s, d, v) in &claims {
+            b.add_claim(&format!("S{s}"), &format!("D{d}"), &format!("v{v}"));
+        }
+        let ds = b.build();
+        for d in ds.items() {
+            let mut seen = HashSet::new();
+            for group in ds.values_of_item(d) {
+                for &p in &group.providers {
+                    prop_assert!(seen.insert(p), "source {p} appears in two groups of item {d}");
+                }
+            }
+            let claiming: HashSet<_> = ds
+                .sources()
+                .filter(|&s| ds.value_of(s, d).is_some())
+                .collect();
+            prop_assert_eq!(seen, claiming);
+        }
+    }
+
+    /// The last claim wins: after building, a source's value for an item is
+    /// the value of the last inserted claim for that (source, item).
+    #[test]
+    fn last_claim_wins(claims in claims_strategy()) {
+        let mut b = DatasetBuilder::new();
+        let mut expected: HashMap<(String, String), String> = HashMap::new();
+        for (s, d, v) in &claims {
+            let (s, d, v) = (format!("S{s}"), format!("D{d}"), format!("v{v}"));
+            b.add_claim(&s, &d, &v);
+            expected.insert((s, d), v);
+        }
+        let ds = b.build();
+        prop_assert_eq!(ds.num_claims(), expected.len());
+        for ((s, d), v) in &expected {
+            let sid = ds.source_by_name(s).unwrap();
+            let did = ds.item_by_name(d).unwrap();
+            let vid = ds.value_of(sid, did).unwrap();
+            prop_assert_eq!(ds.value_str(vid), v.as_str());
+        }
+    }
+
+    /// Shared item / shared value counts are symmetric and consistent:
+    /// shared values ≤ shared items ≤ min coverage.
+    #[test]
+    fn sharing_counts_are_consistent(claims in claims_strategy()) {
+        let mut b = DatasetBuilder::new();
+        for (s, d, v) in &claims {
+            b.add_claim(&format!("S{s}"), &format!("D{d}"), &format!("v{v}"));
+        }
+        let ds = b.build();
+        let sources: Vec<_> = ds.sources().collect();
+        for (i, &a) in sources.iter().enumerate() {
+            for &b_ in &sources[i + 1..] {
+                let items = ds.shared_item_count(a, b_);
+                let values = ds.shared_value_count(a, b_);
+                prop_assert_eq!(items, ds.shared_item_count(b_, a));
+                prop_assert_eq!(values, ds.shared_value_count(b_, a));
+                prop_assert!(values <= items);
+                prop_assert!(items <= ds.coverage(a).min(ds.coverage(b_)));
+            }
+        }
+    }
+
+    /// TSV round-trip preserves every claim.
+    #[test]
+    fn tsv_roundtrip(claims in claims_strategy()) {
+        let mut b = DatasetBuilder::new();
+        for (s, d, v) in &claims {
+            b.add_claim(&format!("S{s}"), &format!("D{d}"), &format!("v{v}"));
+        }
+        let ds = b.build();
+        let text = copydet_model::tsv::dataset_to_string(&ds);
+        let back = copydet_model::tsv::parse_dataset(&text).unwrap();
+        prop_assert_eq!(back.num_claims(), ds.num_claims());
+        for c in ds.claim_refs() {
+            let s = back.source_by_name(c.source).unwrap();
+            let d = back.item_by_name(c.item).unwrap();
+            let v = back.value_of(s, d).unwrap();
+            prop_assert_eq!(back.value_str(v), c.value);
+        }
+    }
+
+    /// Projection onto a random item subset keeps exactly the claims of those
+    /// items and keeps identifiers stable.
+    #[test]
+    fn projection_is_exact(claims in claims_strategy(), keep_mask in prop::collection::vec(any::<bool>(), 10)) {
+        let mut b = DatasetBuilder::new();
+        for (s, d, v) in &claims {
+            b.add_claim(&format!("S{s}"), &format!("D{d}"), &format!("v{v}"));
+        }
+        let ds = b.build();
+        let keep: HashSet<ItemId> = ds
+            .items()
+            .filter(|d| keep_mask.get(d.index()).copied().unwrap_or(false))
+            .collect();
+        let proj = ds.project_items(&keep);
+        prop_assert_eq!(proj.num_sources(), ds.num_sources());
+        prop_assert_eq!(proj.num_items(), ds.num_items());
+        let expected: usize = ds
+            .claims_iter()
+            .filter(|c| keep.contains(&c.item))
+            .count();
+        prop_assert_eq!(proj.num_claims(), expected);
+        for s in ds.sources() {
+            for d in ds.items() {
+                let expected = if keep.contains(&d) { ds.value_of(s, d) } else { None };
+                prop_assert_eq!(proj.value_of(s, d), expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # copydet-nra
+//!
+//! Fagin's **No-Random-Access (NRA)** top-k aggregation algorithm
+//! (Fagin, Lotem, Naor, PODS 2001), the alternative the paper considers —
+//! and rejects — for scalable copy detection (Section II-B, Table X).
+//!
+//! NRA answers top-k queries over `m` sorted lists: every object appears in
+//! some of the lists with a local score, the lists are sorted by decreasing
+//! local score, the overall score of an object is a monotone aggregate (here:
+//! the sum) of its local scores, and the algorithm may only read the lists
+//! sequentially from the top (no random access). NRA maintains, for every
+//! object seen so far, a lower bound (sum of the scores actually seen) and an
+//! upper bound (seen scores plus the current list frontiers for the unseen
+//! lists) and stops when the k-th best lower bound is at least every other
+//! object's upper bound.
+//!
+//! In the paper's setting the "objects" are source pairs, each value-entry
+//! produces one list of per-pair contribution scores, and an extra list holds
+//! the accumulated negative scores from items with different values. The
+//! expensive part is *building* those lists — which already requires the same
+//! work as scoring every shared value — which is why the paper only measures
+//! `FAGININPUT`, the list-generation step, and shows its own algorithms beat
+//! even that. We implement the full algorithm so the comparison in Table X
+//! can be reproduced and sanity-checked end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod list;
+mod nra;
+
+pub use list::{ScoredEntry, SortedList};
+pub use nra::{NraOutcome, NraResult, NoRandomAccess};

@@ -1,0 +1,103 @@
+//! Sorted input lists for the NRA algorithm.
+
+/// One `(object, local score)` pair inside a sorted list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredEntry<K> {
+    /// The object the score belongs to.
+    pub key: K,
+    /// The local score contributed by this list.
+    pub score: f64,
+}
+
+/// A list of objects sorted by decreasing local score, readable only from the
+/// top (sequential access), as required by the NRA model.
+#[derive(Debug, Clone, Default)]
+pub struct SortedList<K> {
+    entries: Vec<ScoredEntry<K>>,
+}
+
+impl<K: Copy + Eq + std::hash::Hash> SortedList<K> {
+    /// Creates a list from arbitrary `(key, score)` pairs, sorting them by
+    /// decreasing score.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (K, f64)>) -> Self {
+        let mut entries: Vec<ScoredEntry<K>> = pairs
+            .into_iter()
+            .map(|(key, score)| ScoredEntry { key, score })
+            .collect();
+        entries.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are never NaN"));
+        Self { entries }
+    }
+
+    /// Creates a list from pairs that are already sorted by decreasing score.
+    ///
+    /// # Panics
+    /// Panics if the pairs are not sorted.
+    pub fn from_sorted(pairs: Vec<(K, f64)>) -> Self {
+        assert!(
+            pairs.windows(2).all(|w| w[0].1 >= w[1].1),
+            "input must be sorted by decreasing score"
+        );
+        Self {
+            entries: pairs
+                .into_iter()
+                .map(|(key, score)| ScoredEntry { key, score })
+                .collect(),
+        }
+    }
+
+    /// Number of entries in the list.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the list has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry at depth `d` (0-based), if the list is that deep.
+    pub fn at_depth(&self, d: usize) -> Option<&ScoredEntry<K>> {
+        self.entries.get(d)
+    }
+
+    /// The local score at depth `d`; below the bottom of the list the
+    /// frontier score is 0 (an object absent from a list contributes
+    /// nothing).
+    pub fn frontier(&self, d: usize) -> f64 {
+        self.entries.get(d).map(|e| e.score).unwrap_or(0.0)
+    }
+
+    /// All entries, best first.
+    pub fn entries(&self) -> &[ScoredEntry<K>] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts() {
+        let list = SortedList::from_pairs([(1u32, 0.5), (2, 2.0), (3, 1.0)]);
+        let keys: Vec<u32> = list.entries().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![2, 3, 1]);
+        assert_eq!(list.len(), 3);
+        assert!(!list.is_empty());
+    }
+
+    #[test]
+    fn frontier_below_bottom_is_zero() {
+        let list = SortedList::from_pairs([(1u32, 0.5)]);
+        assert_eq!(list.frontier(0), 0.5);
+        assert_eq!(list.frontier(1), 0.0);
+        assert_eq!(list.frontier(100), 0.0);
+        assert!(list.at_depth(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn from_sorted_validates() {
+        let _ = SortedList::from_sorted(vec![(1u32, 0.5), (2, 2.0)]);
+    }
+}

@@ -1,0 +1,251 @@
+//! The NRA (No Random Access) top-k algorithm over sorted lists.
+
+use crate::list::SortedList;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One object in the top-k answer, with the bounds NRA had established when
+/// it stopped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NraResult<K> {
+    /// The object.
+    pub key: K,
+    /// Lower bound on the object's aggregate score (sum of the local scores
+    /// actually read).
+    pub lower: f64,
+    /// Upper bound on the aggregate score at stopping time.
+    pub upper: f64,
+}
+
+/// Outcome of an NRA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NraOutcome<K> {
+    /// The top-k objects by lower-bound score, best first. Guaranteed to be a
+    /// correct top-k set when `converged` is `true`.
+    pub top_k: Vec<NraResult<K>>,
+    /// Whether the stopping condition was met before the lists were
+    /// exhausted. When the lists run out, the bounds are exact and `top_k`
+    /// is the exact answer as well.
+    pub converged: bool,
+    /// How many depths were read from every list (sequential accesses per
+    /// list).
+    pub depth_reached: usize,
+    /// Total number of `(object, score)` entries read across all lists.
+    pub entries_read: usize,
+}
+
+/// Fagin's NRA algorithm for monotone-sum aggregation over sorted lists with
+/// only sequential access.
+#[derive(Debug, Clone)]
+pub struct NoRandomAccess<K> {
+    lists: Vec<SortedList<K>>,
+}
+
+impl<K: Copy + Eq + Hash + Ord> NoRandomAccess<K> {
+    /// Creates an NRA instance over the given lists.
+    pub fn new(lists: Vec<SortedList<K>>) -> Self {
+        Self { lists }
+    }
+
+    /// Number of input lists.
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Runs NRA and returns the top-k objects by aggregate (summed) score.
+    ///
+    /// The algorithm performs round-robin sequential reads: at depth `d` it
+    /// reads the `d`-th entry of every list, updates each seen object's lower
+    /// bound (scores actually read) and recomputes upper bounds (lower bound
+    /// plus the frontier of every list the object has not been seen in), and
+    /// stops when the k-th largest lower bound is at least the upper bound of
+    /// every object outside the current top-k (including the "unseen object"
+    /// whose upper bound is the sum of all frontiers).
+    pub fn top_k(&self, k: usize) -> NraOutcome<K> {
+        if k == 0 {
+            return NraOutcome { top_k: Vec::new(), converged: true, depth_reached: 0, entries_read: 0 };
+        }
+        let m = self.lists.len();
+        let max_depth = self.lists.iter().map(SortedList::len).max().unwrap_or(0);
+        // For each object: (lower bound, bitset of lists seen in).
+        let mut seen: HashMap<K, (f64, Vec<bool>)> = HashMap::new();
+        let mut entries_read = 0;
+        let mut depth = 0;
+
+        while depth < max_depth {
+            for (li, list) in self.lists.iter().enumerate() {
+                if let Some(entry) = list.at_depth(depth) {
+                    entries_read += 1;
+                    let slot = seen
+                        .entry(entry.key)
+                        .or_insert_with(|| (0.0, vec![false; m]));
+                    slot.0 += entry.score;
+                    slot.1[li] = true;
+                }
+            }
+            depth += 1;
+
+            if self.stopping_condition_met(k, depth, &seen) {
+                return NraOutcome {
+                    top_k: self.current_top_k(k, depth, &seen),
+                    converged: true,
+                    depth_reached: depth,
+                    entries_read,
+                };
+            }
+        }
+
+        NraOutcome {
+            top_k: self.current_top_k(k, depth, &seen),
+            converged: false,
+            depth_reached: depth,
+            entries_read,
+        }
+    }
+
+    /// Exact aggregate scores of every object, by exhausting all lists.
+    /// Provided as a reference implementation and for verifying NRA outputs.
+    pub fn exact_scores(&self) -> HashMap<K, f64> {
+        let mut totals = HashMap::new();
+        for list in &self.lists {
+            for e in list.entries() {
+                *totals.entry(e.key).or_insert(0.0) += e.score;
+            }
+        }
+        totals
+    }
+
+    fn frontiers(&self, depth: usize) -> Vec<f64> {
+        self.lists.iter().map(|l| l.frontier(depth)).collect()
+    }
+
+    fn upper_bound(&self, lower: f64, seen_in: &[bool], frontiers: &[f64]) -> f64 {
+        let mut upper = lower;
+        for (li, &seen) in seen_in.iter().enumerate() {
+            if !seen {
+                upper += frontiers[li];
+            }
+        }
+        upper
+    }
+
+    fn stopping_condition_met(&self, k: usize, depth: usize, seen: &HashMap<K, (f64, Vec<bool>)>) -> bool {
+        if seen.len() < k {
+            return false;
+        }
+        let frontiers = self.frontiers(depth);
+        let unseen_upper: f64 = frontiers.iter().sum();
+        // k-th largest lower bound
+        let mut lowers: Vec<f64> = seen.values().map(|(l, _)| *l).collect();
+        lowers.sort_by(|a, b| b.partial_cmp(a).expect("scores are never NaN"));
+        let kth_lower = lowers[k - 1];
+        if kth_lower < unseen_upper {
+            return false;
+        }
+        // Determine the current top-k keys, then require every other seen
+        // object's upper bound to be at most the k-th lower bound.
+        let top = self.current_top_k(k, depth, seen);
+        let top_keys: std::collections::HashSet<K> = top.iter().map(|r| r.key).collect();
+        for (key, (lower, seen_in)) in seen {
+            if top_keys.contains(key) {
+                continue;
+            }
+            if self.upper_bound(*lower, seen_in, &frontiers) > kth_lower {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn current_top_k(&self, k: usize, depth: usize, seen: &HashMap<K, (f64, Vec<bool>)>) -> Vec<NraResult<K>> {
+        let frontiers = self.frontiers(depth);
+        let mut results: Vec<NraResult<K>> = seen
+            .iter()
+            .map(|(&key, (lower, seen_in))| NraResult {
+                key,
+                lower: *lower,
+                upper: self.upper_bound(*lower, seen_in, &frontiers),
+            })
+            .collect();
+        results.sort_by(|a, b| {
+            b.lower
+                .partial_cmp(&a.lower)
+                .expect("scores are never NaN")
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        results.truncate(k);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_lists() -> NoRandomAccess<u32> {
+        // Object aggregate scores: 1 → 3.0, 2 → 2.6, 3 → 1.2, 4 → 0.4
+        let l1 = SortedList::from_pairs([(1u32, 1.5), (2, 1.0), (3, 0.4)]);
+        let l2 = SortedList::from_pairs([(2u32, 1.6), (1, 1.5), (4, 0.4)]);
+        let l3 = SortedList::from_pairs([(3u32, 0.8)]);
+        NoRandomAccess::new(vec![l1, l2, l3])
+    }
+
+    #[test]
+    fn top_1_is_best_aggregate() {
+        let nra = three_lists();
+        let out = nra.top_k(1);
+        assert_eq!(out.top_k[0].key, 1);
+        assert!(out.top_k[0].lower <= 3.0 + 1e-12);
+        assert_eq!(nra.num_lists(), 3);
+    }
+
+    #[test]
+    fn top_2_matches_exact_ranking() {
+        let nra = three_lists();
+        let out = nra.top_k(2);
+        let keys: Vec<u32> = out.top_k.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![1, 2]);
+    }
+
+    #[test]
+    fn exhausting_lists_gives_exact_scores() {
+        let nra = three_lists();
+        let out = nra.top_k(4);
+        let exact = nra.exact_scores();
+        for r in &out.top_k {
+            assert!((r.lower - exact[&r.key]).abs() < 1e-12);
+        }
+        assert_eq!(out.top_k.len(), 4);
+    }
+
+    #[test]
+    fn k_zero_and_empty_lists() {
+        let nra = three_lists();
+        assert!(nra.top_k(0).top_k.is_empty());
+        let empty: NoRandomAccess<u32> = NoRandomAccess::new(vec![]);
+        let out = empty.top_k(3);
+        assert!(out.top_k.is_empty());
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn early_stop_reads_fewer_entries_than_exhaustion() {
+        // A clear winner at the top of both lists lets NRA stop early.
+        let l1 = SortedList::from_pairs((0..100u32).map(|i| (i, if i == 0 { 50.0 } else { 0.01 })));
+        let l2 = SortedList::from_pairs((0..100u32).map(|i| (i, if i == 0 { 50.0 } else { 0.01 })));
+        let nra = NoRandomAccess::new(vec![l1, l2]);
+        let out = nra.top_k(1);
+        assert!(out.converged);
+        assert_eq!(out.top_k[0].key, 0);
+        assert!(out.entries_read < 200, "read {} entries", out.entries_read);
+    }
+
+    #[test]
+    fn upper_bounds_dominate_lower_bounds() {
+        let nra = three_lists();
+        let out = nra.top_k(3);
+        for r in &out.top_k {
+            assert!(r.upper + 1e-12 >= r.lower);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the NRA substrate: whatever the inputs, the
+//! algorithm's answer must agree with exhaustive aggregation.
+
+use copydet_nra::{NoRandomAccess, SortedList};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn lists_strategy() -> impl Strategy<Value = Vec<Vec<(u16, f64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u16..40, 0.0f64..10.0), 0..30),
+        1..6,
+    )
+}
+
+/// Deduplicate keys within one list (an object appears at most once per
+/// list in the NRA model), keeping the larger score.
+fn dedup(list: Vec<(u16, f64)>) -> Vec<(u16, f64)> {
+    let mut best: HashMap<u16, f64> = HashMap::new();
+    for (k, s) in list {
+        let e = best.entry(k).or_insert(s);
+        if s > *e {
+            *e = s;
+        }
+    }
+    best.into_iter().collect()
+}
+
+proptest! {
+    /// The top-k keys returned by NRA have the k largest exact aggregate
+    /// scores (ties allowed), and the reported lower bounds never exceed the
+    /// exact scores.
+    #[test]
+    fn nra_matches_exhaustive(raw_lists in lists_strategy(), k in 1usize..8) {
+        let lists: Vec<SortedList<u16>> = raw_lists
+            .into_iter()
+            .map(|l| SortedList::from_pairs(dedup(l)))
+            .collect();
+        let nra = NoRandomAccess::new(lists);
+        let exact = nra.exact_scores();
+        let out = nra.top_k(k);
+
+        // Reported lower bounds are never above the exact aggregate.
+        for r in &out.top_k {
+            let exact_score = exact.get(&r.key).copied().unwrap_or(0.0);
+            prop_assert!(r.lower <= exact_score + 1e-9);
+            prop_assert!(r.upper + 1e-9 >= exact_score);
+        }
+
+        // When converged (or lists exhausted), the returned set must contain
+        // keys whose exact scores are at least as large as every excluded
+        // key's exact score, up to ties.
+        let mut exact_sorted: Vec<(u16, f64)> = exact.iter().map(|(&k, &s)| (k, s)).collect();
+        exact_sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let expected_k = k.min(exact_sorted.len());
+        prop_assert_eq!(out.top_k.len(), expected_k);
+        if expected_k > 0 {
+            let threshold = exact_sorted[expected_k - 1].1;
+            for r in &out.top_k {
+                let score = exact[&r.key];
+                prop_assert!(
+                    score + 1e-9 >= threshold,
+                    "returned key {} with exact score {score} below k-th best {threshold}",
+                    r.key
+                );
+            }
+        }
+    }
+
+    /// With k equal to the number of distinct objects, NRA returns every
+    /// object, and each object's exact score is sandwiched between the
+    /// reported lower and upper bounds. (The bounds need not be tight — NRA
+    /// may stop before exhausting the lists once the answer set is certain.)
+    #[test]
+    fn full_k_returns_every_object_with_valid_bounds(raw_lists in lists_strategy()) {
+        let lists: Vec<SortedList<u16>> = raw_lists
+            .into_iter()
+            .map(|l| SortedList::from_pairs(dedup(l)))
+            .collect();
+        let nra = NoRandomAccess::new(lists);
+        let exact = nra.exact_scores();
+        let out = nra.top_k(exact.len().max(1));
+        prop_assert_eq!(out.top_k.len(), exact.len());
+        let returned: std::collections::HashSet<u16> = out.top_k.iter().map(|r| r.key).collect();
+        prop_assert_eq!(returned.len(), exact.len());
+        for r in &out.top_k {
+            let score = exact[&r.key];
+            prop_assert!(r.lower <= score + 1e-9);
+            prop_assert!(r.upper + 1e-9 >= score);
+        }
+    }
+}

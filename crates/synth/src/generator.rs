@@ -1,0 +1,258 @@
+//! The synthetic claim generator.
+
+use crate::config::{AccuracyModel, CopyingConfig, CoverageModel, SynthConfig};
+use crate::gold::{GoldStandard, PlantedCopy, SyntheticDataset};
+use crate::zipf::ZipfSampler;
+use copydet_model::{DatasetBuilder, ItemId, SourceId, ValueId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Generates a synthetic dataset with planted truth, errors and copying.
+///
+/// The procedure, per source:
+///
+/// 1. assign an accuracy from the configured [`AccuracyModel`];
+/// 2. pick the covered items from the configured [`CoverageModel`];
+/// 3. for every covered item, provide the true value with probability equal
+///    to the source's accuracy, otherwise one of the item's `n` false values
+///    uniformly at random (the paper's error model);
+/// 4. copier sources additionally overwrite their claims: for every item the
+///    designated original provides, with probability `selectivity` the
+///    copier claims exactly the original's value (false values propagate —
+///    the phenomenon copy detection exists to catch).
+///
+/// The generator is deterministic for a fixed configuration (including the
+/// seed).
+pub fn generate(name: &str, config: &SynthConfig) -> SyntheticDataset {
+    assert!(config.num_sources >= 1, "need at least one source");
+    assert!(config.num_items >= 1, "need at least one item");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+
+    let mut builder = DatasetBuilder::new();
+    // Register sources and items up front so identifiers are dense and
+    // stable regardless of claim order.
+    let sources: Vec<SourceId> =
+        (0..config.num_sources).map(|i| builder.source(&format!("src{i:05}"))).collect();
+    let items: Vec<ItemId> =
+        (0..config.num_items).map(|d| builder.item(&format!("item{d:06}"))).collect();
+
+    // True and false value ids per item.
+    let mut true_values: HashMap<ItemId, ValueId> = HashMap::with_capacity(items.len());
+    for (d, &item) in items.iter().enumerate() {
+        let v = builder.value(&format!("item{d:06}/true"));
+        true_values.insert(item, v);
+    }
+
+    // Planted accuracies.
+    let accuracies: Vec<f64> = (0..config.num_sources)
+        .map(|_| match config.accuracy {
+            AccuracyModel::Uniform { min, max } => rng.gen_range(min..=max),
+            AccuracyModel::Bimodal { good, bad, fraction_good } => {
+                if rng.gen_bool(fraction_good) {
+                    good
+                } else {
+                    bad
+                }
+            }
+        })
+        .collect();
+
+    // Coverage: which items each source answers.
+    let coverages: Vec<Vec<ItemId>> = (0..config.num_sources)
+        .map(|rank| {
+            let fraction = match config.coverage {
+                CoverageModel::Uniform { min_fraction, max_fraction } => {
+                    rng.gen_range(min_fraction..=max_fraction)
+                }
+                CoverageModel::Zipf { max_fraction, exponent, min_items } => {
+                    let z = ZipfSampler::new(exponent);
+                    let f = max_fraction * z.weight(rank + 1);
+                    f.max(min_items as f64 / config.num_items as f64)
+                }
+            };
+            let count = ((config.num_items as f64 * fraction).round() as usize)
+                .clamp(1, config.num_items);
+            let mut shuffled = items.clone();
+            shuffled.shuffle(&mut rng);
+            shuffled.truncate(count);
+            shuffled
+        })
+        .collect();
+
+    // Independent claims.
+    let mut claims: Vec<HashMap<ItemId, ValueId>> = Vec::with_capacity(config.num_sources);
+    for (s, covered) in coverages.iter().enumerate() {
+        let mut own = HashMap::with_capacity(covered.len());
+        for &item in covered {
+            let value = if rng.gen_bool(accuracies[s]) {
+                true_values[&item]
+            } else {
+                let false_idx = rng.gen_range(0..config.n_false_values);
+                builder.value(&format!("{}/false{}", builder_item_name(item), false_idx))
+            };
+            own.insert(item, value);
+        }
+        claims.push(own);
+    }
+
+    // Plant copier groups.
+    let copies = plant_copying(&config.copying, &sources, &mut claims, &mut rng);
+
+    // Materialize all claims.
+    for (s, own) in claims.iter().enumerate() {
+        for (&item, &value) in own {
+            builder.add_claim_ids(sources[s], item, value);
+        }
+    }
+
+    let dataset = builder.build();
+    SyntheticDataset {
+        dataset,
+        gold: GoldStandard { true_values, copies, planted_accuracies: accuracies },
+        name: name.to_string(),
+    }
+}
+
+/// Item names are generated as `item{d:06}`; reconstruct the name from the
+/// dense id so false-value strings stay per-item.
+fn builder_item_name(item: ItemId) -> String {
+    format!("item{:06}", item.index())
+}
+
+fn plant_copying(
+    config: &CopyingConfig,
+    sources: &[SourceId],
+    claims: &mut [HashMap<ItemId, ValueId>],
+    rng: &mut impl Rng,
+) -> Vec<PlantedCopy> {
+    let mut copies = Vec::new();
+    if config.num_groups == 0 || sources.len() < 2 {
+        return copies;
+    }
+    // Choose disjoint groups of sources.
+    let mut pool: Vec<usize> = (0..sources.len()).collect();
+    pool.shuffle(rng);
+    let mut cursor = 0;
+    for _ in 0..config.num_groups {
+        let copiers = if config.max_copiers > config.min_copiers {
+            rng.gen_range(config.min_copiers..=config.max_copiers)
+        } else {
+            config.min_copiers
+        };
+        let group_size = copiers + 1;
+        if cursor + group_size > pool.len() || copiers == 0 {
+            break;
+        }
+        let group = &pool[cursor..cursor + group_size];
+        cursor += group_size;
+        let original = group[0];
+        // Sort so the RNG draws happen in a deterministic order regardless of
+        // hash-map iteration order.
+        let mut original_claims: Vec<(ItemId, ValueId)> =
+            claims[original].iter().map(|(&d, &v)| (d, v)).collect();
+        original_claims.sort_unstable_by_key(|&(d, _)| d);
+        for &copier in &group[1..] {
+            for &(item, value) in &original_claims {
+                if rng.gen_bool(config.selectivity) {
+                    claims[copier].insert(item, value);
+                }
+            }
+            copies.push(PlantedCopy { copier: sources[copier], original: sources[original] });
+        }
+    }
+    copies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthConfig;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = SynthConfig::small(42);
+        let a = generate("test", &config);
+        let b = generate("test", &config);
+        assert_eq!(a.dataset.num_claims(), b.dataset.num_claims());
+        assert_eq!(a.gold.copies, b.gold.copies);
+        for s in a.dataset.sources() {
+            assert_eq!(a.dataset.claims_of(s), b.dataset.claims_of(s));
+        }
+        let c = generate("test", &SynthConfig::small(43));
+        assert_ne!(a.dataset.num_claims(), 0);
+        // Different seeds almost surely differ.
+        assert!(
+            a.dataset.num_claims() != c.dataset.num_claims()
+                || a.dataset.claims_of(SourceId::new(0)) != c.dataset.claims_of(SourceId::new(0))
+        );
+    }
+
+    #[test]
+    fn shape_matches_configuration() {
+        let config = SynthConfig::small(7);
+        let synth = generate("shape", &config);
+        assert_eq!(synth.dataset.num_sources(), config.num_sources);
+        assert_eq!(synth.dataset.num_items(), config.num_items);
+        assert_eq!(synth.gold.true_values.len(), config.num_items);
+        assert_eq!(synth.gold.planted_accuracies.len(), config.num_sources);
+        assert_eq!(synth.name, "shape");
+        // Coverage stays within the configured bounds (roughly).
+        for s in synth.dataset.sources() {
+            let cov = synth.dataset.coverage(s) as f64 / config.num_items as f64;
+            assert!(cov >= 0.3 && cov <= 1.0, "coverage {cov} out of range for {s}");
+        }
+    }
+
+    #[test]
+    fn accurate_sources_mostly_tell_the_truth() {
+        let mut config = SynthConfig::small(11);
+        config.accuracy = AccuracyModel::Bimodal { good: 0.95, bad: 0.2, fraction_good: 0.5 };
+        config.copying = CopyingConfig::none();
+        let synth = generate("acc", &config);
+        for (s_idx, &planted) in synth.gold.planted_accuracies.iter().enumerate() {
+            let s = SourceId::new(s_idx as u32);
+            let claims = synth.dataset.claims_of(s);
+            let correct = claims
+                .iter()
+                .filter(|&&(d, v)| synth.gold.is_true(d, v))
+                .count();
+            let observed = correct as f64 / claims.len() as f64;
+            assert!(
+                (observed - planted).abs() < 0.2,
+                "source {s}: observed accuracy {observed} too far from planted {planted}"
+            );
+        }
+    }
+
+    #[test]
+    fn copiers_share_most_of_the_originals_claims() {
+        let mut config = SynthConfig::small(13);
+        config.copying =
+            CopyingConfig { num_groups: 1, min_copiers: 2, max_copiers: 2, selectivity: 0.9 };
+        let synth = generate("copy", &config);
+        assert_eq!(synth.gold.copies.len(), 2);
+        for copy in &synth.gold.copies {
+            let shared_values = synth.dataset.shared_value_count(copy.copier, copy.original);
+            let original_coverage = synth.dataset.coverage(copy.original);
+            let overlap = shared_values as f64 / original_coverage as f64;
+            assert!(
+                overlap > 0.5,
+                "copier {} shares only {overlap:.2} of original {}'s claims",
+                copy.copier,
+                copy.original
+            );
+        }
+        // Copier groups are disjoint by construction.
+        let pairs = synth.gold.copying_pairs();
+        assert_eq!(pairs.len(), synth.gold.copies.len());
+    }
+
+    #[test]
+    fn no_copying_config_plants_nothing() {
+        let mut config = SynthConfig::small(17);
+        config.copying = CopyingConfig::none();
+        let synth = generate("nocopy", &config);
+        assert!(synth.gold.copies.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Ground truth attached to synthetic datasets.
+
+use copydet_model::{Dataset, ItemId, SourceId, SourcePair, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// One planted copying relationship, with direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlantedCopy {
+    /// The copying source.
+    pub copier: SourceId,
+    /// The source being copied from.
+    pub original: SourceId,
+}
+
+impl PlantedCopy {
+    /// The undirected pair (the granularity at which detection quality is
+    /// measured).
+    pub fn pair(&self) -> SourcePair {
+        SourcePair::new(self.copier, self.original)
+    }
+}
+
+/// The exact ground truth of a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct GoldStandard {
+    /// The true value of every item.
+    pub true_values: HashMap<ItemId, ValueId>,
+    /// Every planted copying relationship.
+    pub copies: Vec<PlantedCopy>,
+    /// The accuracy each source was generated with (its probability of
+    /// providing the true value when answering independently).
+    pub planted_accuracies: Vec<f64>,
+}
+
+impl GoldStandard {
+    /// The set of undirected pairs with a planted copying relationship.
+    pub fn copying_pairs(&self) -> HashSet<SourcePair> {
+        self.copies.iter().map(PlantedCopy::pair).collect()
+    }
+
+    /// Returns `true` if the value is the true value of the item.
+    pub fn is_true(&self, item: ItemId, value: ValueId) -> bool {
+        self.true_values.get(&item) == Some(&value)
+    }
+
+    /// Fraction of `truths` (item → chosen value) that match the gold
+    /// standard, evaluated over the provided subset of items (or every gold
+    /// item when `items` is `None`).
+    pub fn fusion_accuracy(
+        &self,
+        truths: &HashMap<ItemId, ValueId>,
+        items: Option<&[ItemId]>,
+    ) -> f64 {
+        let evaluate: Vec<ItemId> = match items {
+            Some(items) => items.to_vec(),
+            None => self.true_values.keys().copied().collect(),
+        };
+        if evaluate.is_empty() {
+            return 0.0;
+        }
+        let correct = evaluate
+            .iter()
+            .filter(|item| {
+                truths.get(item).copied() == self.true_values.get(item).copied()
+                    && truths.contains_key(item)
+            })
+            .count();
+        correct as f64 / evaluate.len() as f64
+    }
+}
+
+/// A synthetic dataset together with its ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The generated claims.
+    pub dataset: Dataset,
+    /// The ground truth.
+    pub gold: GoldStandard,
+    /// A human-readable name for reports ("book-cs", "stock-1day", …).
+    pub name: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_copy_pair_is_undirected() {
+        let c = PlantedCopy { copier: SourceId::new(3), original: SourceId::new(1) };
+        assert_eq!(c.pair(), SourcePair::new(SourceId::new(1), SourceId::new(3)));
+    }
+
+    #[test]
+    fn fusion_accuracy_counts_matches() {
+        let gold = GoldStandard {
+            true_values: [(ItemId::new(0), ValueId::new(0)), (ItemId::new(1), ValueId::new(1))]
+                .into_iter()
+                .collect(),
+            copies: vec![],
+            planted_accuracies: vec![],
+        };
+        let mut truths = HashMap::new();
+        truths.insert(ItemId::new(0), ValueId::new(0));
+        truths.insert(ItemId::new(1), ValueId::new(9));
+        assert!((gold.fusion_accuracy(&truths, None) - 0.5).abs() < 1e-12);
+        // Restricted to the correctly-answered item only.
+        assert!((gold.fusion_accuracy(&truths, Some(&[ItemId::new(0)])) - 1.0).abs() < 1e-12);
+        assert_eq!(gold.fusion_accuracy(&truths, Some(&[])), 0.0);
+        assert!(gold.is_true(ItemId::new(0), ValueId::new(0)));
+        assert!(!gold.is_true(ItemId::new(0), ValueId::new(1)));
+    }
+}

@@ -1,0 +1,164 @@
+//! Presets mirroring the shape of the paper's four evaluation datasets
+//! (Table V and Section VI-A), at configurable scale.
+//!
+//! | Preset | Paper dataset | Sources | Items | Shape |
+//! |--------|---------------|---------|-------|-------|
+//! | [`book_cs`] | Book-CS | 894 | 2,528 | many sources, Zipf coverage (≈85% of sources cover ≤1% of items), ~5.9 conflicting values per item |
+//! | [`book_full`] | Book-full | 3,182 | 147,431 | like Book-CS but much larger and sparser (~1.1 conflicting values per item) |
+//! | [`stock_1day`] | Stock-1day | 55 | 16,000 | few sources, dense coverage (≈80% of sources cover more than half of the items), ~6.5 conflicting values per item |
+//! | [`stock_2wk`] | Stock-2wk | 55 | 160,000 | Stock-1day over ten trading days |
+//!
+//! The `scale` argument shrinks the *item* dimension (and, for the Book
+//! presets, the source dimension) so experiments stay laptop-sized; the
+//! structural properties the algorithms are sensitive to are preserved at
+//! any scale. `scale = 1.0` reproduces the paper's published sizes.
+
+use crate::config::{AccuracyModel, CopyingConfig, CoverageModel, SynthConfig};
+use crate::generator::generate;
+use crate::gold::SyntheticDataset;
+
+fn scaled(value: usize, scale: f64, min: usize) -> usize {
+    ((value as f64 * scale).round() as usize).max(min)
+}
+
+/// The Book-CS-like preset: 894 sources × 2,528 items at full scale.
+pub fn book_cs(scale: f64, seed: u64) -> SyntheticDataset {
+    let config = SynthConfig {
+        num_sources: scaled(894, scale, 30),
+        num_items: scaled(2528, scale, 60),
+        n_false_values: 25,
+        coverage: CoverageModel::Zipf { max_fraction: 0.8, exponent: 1.1, min_items: 3 },
+        accuracy: AccuracyModel::Uniform { min: 0.35, max: 0.95 },
+        copying: CopyingConfig {
+            num_groups: scaled(30, scale, 3),
+            min_copiers: 1,
+            max_copiers: 3,
+            selectivity: 0.75,
+        },
+        seed,
+    };
+    generate("book-cs", &config)
+}
+
+/// The Book-full-like preset: 3,182 sources × 147,431 items at full scale.
+pub fn book_full(scale: f64, seed: u64) -> SyntheticDataset {
+    let config = SynthConfig {
+        num_sources: scaled(3182, scale, 60),
+        num_items: scaled(147_431, scale, 300),
+        n_false_values: 20,
+        coverage: CoverageModel::Zipf { max_fraction: 0.5, exponent: 1.25, min_items: 3 },
+        accuracy: AccuracyModel::Uniform { min: 0.55, max: 0.98 },
+        copying: CopyingConfig {
+            num_groups: scaled(60, scale, 4),
+            min_copiers: 1,
+            max_copiers: 4,
+            selectivity: 0.7,
+        },
+        seed,
+    };
+    generate("book-full", &config)
+}
+
+/// The Stock-1day-like preset: 55 sources × 16,000 items at full scale.
+///
+/// The source dimension is intrinsic to the shape (few, dense feeds) and is
+/// not scaled down.
+pub fn stock_1day(scale: f64, seed: u64) -> SyntheticDataset {
+    let config = SynthConfig {
+        num_sources: 55,
+        num_items: scaled(16_000, scale, 200),
+        n_false_values: 30,
+        coverage: CoverageModel::Uniform { min_fraction: 0.45, max_fraction: 0.98 },
+        accuracy: AccuracyModel::Uniform { min: 0.45, max: 0.95 },
+        copying: CopyingConfig { num_groups: 6, min_copiers: 1, max_copiers: 2, selectivity: 0.85 },
+        seed,
+    };
+    generate("stock-1day", &config)
+}
+
+/// The Stock-2wk-like preset: 55 sources × 160,000 items at full scale.
+pub fn stock_2wk(scale: f64, seed: u64) -> SyntheticDataset {
+    let config = SynthConfig {
+        num_sources: 55,
+        num_items: scaled(160_000, scale, 400),
+        n_false_values: 30,
+        coverage: CoverageModel::Uniform { min_fraction: 0.4, max_fraction: 0.95 },
+        accuracy: AccuracyModel::Uniform { min: 0.45, max: 0.95 },
+        copying: CopyingConfig { num_groups: 6, min_copiers: 1, max_copiers: 2, selectivity: 0.85 },
+        seed,
+    };
+    generate("stock-2wk", &config)
+}
+
+/// All four presets at the given per-family scales, in the order the paper
+/// lists them (Book-CS, Stock-1day, Book-full, Stock-2wk).
+pub fn all_presets(book_scale: f64, stock_scale: f64, seed: u64) -> Vec<SyntheticDataset> {
+    vec![
+        book_cs(book_scale, seed),
+        stock_1day(stock_scale, seed + 1),
+        book_full(book_scale, seed + 2),
+        stock_2wk(stock_scale, seed + 3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn book_cs_shape_is_zipf_skewed() {
+        let synth = book_cs(0.15, 1);
+        let stats = synth.dataset.stats();
+        assert_eq!(stats.num_sources, (894.0f64 * 0.15).round() as usize);
+        // The defining property: most sources cover very few items.
+        assert!(
+            stats.frac_sources_low_coverage > 0.5,
+            "expected a majority of low-coverage sources, got {}",
+            stats.frac_sources_low_coverage
+        );
+        assert!(stats.num_shared_item_values > 0);
+        assert!(!synth.gold.copies.is_empty());
+    }
+
+    #[test]
+    fn stock_shape_is_dense() {
+        let synth = stock_1day(0.02, 2);
+        let stats = synth.dataset.stats();
+        assert_eq!(stats.num_sources, 55);
+        assert!(
+            stats.frac_sources_high_coverage > 0.6,
+            "expected most sources to cover more than half the items, got {}",
+            stats.frac_sources_high_coverage
+        );
+        // Dense conflict fan-out, in the spirit of 6.5 values per item.
+        assert!(stats.avg_values_per_item > 2.0);
+    }
+
+    #[test]
+    fn stock_2wk_is_larger_than_1day() {
+        let day = stock_1day(0.02, 3);
+        let wk = stock_2wk(0.02, 3);
+        assert!(wk.dataset.num_items() > day.dataset.num_items() * 5);
+        assert_eq!(wk.dataset.num_sources(), 55);
+    }
+
+    #[test]
+    fn book_full_is_sparser_than_book_cs() {
+        let cs = book_cs(0.1, 4);
+        let full = book_full(0.02, 4);
+        let cs_stats = cs.dataset.stats();
+        let full_stats = full.dataset.stats();
+        assert!(full_stats.avg_values_per_item < cs_stats.avg_values_per_item);
+    }
+
+    #[test]
+    fn all_presets_returns_four_named_datasets() {
+        let presets = all_presets(0.05, 0.01, 9);
+        let names: Vec<&str> = presets.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["book-cs", "stock-1day", "book-full", "stock-2wk"]);
+        for p in &presets {
+            assert!(p.dataset.num_claims() > 0);
+            assert_eq!(p.gold.true_values.len(), p.dataset.num_items());
+        }
+    }
+}

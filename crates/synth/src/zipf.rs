@@ -1,0 +1,49 @@
+//! A small Zipf-like rank sampler used for skewed coverage distributions.
+
+/// Produces rank-based Zipf weights: `weight(rank) = rank^(−exponent)` for
+/// ranks `1..=n`, normalized to `[0, 1]` relative to rank 1.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler with the given exponent (`0` = uniform, larger =
+    /// steeper).
+    pub fn new(exponent: f64) -> Self {
+        assert!(exponent >= 0.0, "Zipf exponent must be non-negative");
+        Self { exponent }
+    }
+
+    /// Relative weight of the given 1-based rank (rank 1 has weight 1.0).
+    pub fn weight(&self, rank: usize) -> f64 {
+        assert!(rank >= 1, "ranks are 1-based");
+        (rank as f64).powf(-self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_decrease_with_rank() {
+        let z = ZipfSampler::new(1.0);
+        assert!((z.weight(1) - 1.0).abs() < 1e-12);
+        assert!(z.weight(2) < z.weight(1));
+        assert!(z.weight(100) < z.weight(10));
+        assert!((z.weight(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = ZipfSampler::new(0.0);
+        assert!((z.weight(1) - z.weight(50)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn rank_zero_rejected() {
+        let _ = ZipfSampler::new(1.0).weight(0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Integration tests for the experiment drivers: every table/figure driver
+//! must run end to end at tiny scale and produce a table of the right shape.
+
+use copydetect::eval::{experiments, ExperimentConfig};
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig::tiny()
+}
+
+#[test]
+fn motivating_tables_render() {
+    let tables = experiments::motivating::run();
+    assert_eq!(tables.len(), 3);
+    let rendered: String = tables.iter().map(|t| t.to_string()).collect();
+    assert!(rendered.contains("AZ.Tempe"));
+    assert!(rendered.contains("PAIRWISE"));
+}
+
+#[test]
+fn table5_dataset_overview_renders() {
+    let table = experiments::datasets::run(&config());
+    assert_eq!(table.num_rows(), 4);
+    assert!(table.to_markdown().contains("book-cs"));
+}
+
+#[test]
+fn table7_timing_renders_with_total_row() {
+    let table = experiments::timing::run(&config());
+    assert_eq!(table.num_rows(), 8);
+    assert!(table.to_string().contains("Total improvement"));
+}
+
+#[test]
+fn table8_incremental_renders_pass_rows() {
+    let table = experiments::incremental::run(&config());
+    let text = table.to_string();
+    assert!(text.contains("Pass 1"));
+    assert!(text.contains("Pass 3"));
+}
+
+#[test]
+fn table10_fagin_renders_two_ratio_rows() {
+    let table = experiments::fagin::run(&config());
+    assert_eq!(table.num_rows(), 2);
+}
+
+#[test]
+fn figure2_and_figure3_render() {
+    let fig2 = experiments::single_round::run(&config());
+    assert_eq!(fig2.len(), 2);
+    assert_eq!(fig2[0].num_rows(), 4);
+    let fig3 = experiments::ordering::run(&config());
+    assert_eq!(fig3.len(), 2);
+    assert_eq!(fig3[0].num_rows(), 3);
+}
