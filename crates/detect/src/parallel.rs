@@ -47,11 +47,11 @@ pub fn parallel_index_scan(
         .map(|(i, c)| (i * chunk_size, c))
         .collect();
 
-    let partials: Vec<(HashMap<SourcePair, PartialPair>, u64)> = crossbeam::scope(|scope| {
+    let partials: Vec<(HashMap<SourcePair, PartialPair>, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|(offset, chunk)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local: HashMap<SourcePair, PartialPair> = HashMap::new();
                     let mut score_updates = 0u64;
                     for (k, entry) in chunk.iter().enumerate() {
@@ -81,8 +81,7 @@ pub fn parallel_index_scan(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     // Merge the partial maps.
     let mut merged: HashMap<SourcePair, PartialPair> = HashMap::new();

@@ -13,9 +13,10 @@ use serde::{Deserialize, Serialize};
 /// decisions well-defined regardless of ordering, the permutation never moves
 /// an `Ē` entry ahead of a non-`Ē` entry — the paper's Step II/Step III
 /// separation — it only permutes the two regions internally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EntryOrdering {
     /// Decreasing contribution score (the paper's proposal, BYCONTRIBUTION).
+    #[default]
     ByContribution,
     /// Increasing number of providers (BYPROVIDER).
     ByProvider,
@@ -47,12 +48,6 @@ impl EntryOrdering {
         }
         head.extend_from_slice(&tail);
         head
-    }
-}
-
-impl Default for EntryOrdering {
-    fn default() -> Self {
-        EntryOrdering::ByContribution
     }
 }
 

@@ -106,7 +106,7 @@ fn dense_slot(pair: SourcePair) -> usize {
 
 fn dense_unslot(slot: usize) -> SourcePair {
     // Invert j·(j−1)/2 + i: find the largest j with j·(j−1)/2 <= slot.
-    let mut j = (((8 * slot + 1) as f64).sqrt() as usize + 1) / 2;
+    let mut j = (((8 * slot + 1) as f64).sqrt() as usize).div_ceil(2);
     while j * (j - 1) / 2 > slot {
         j -= 1;
     }

@@ -120,7 +120,6 @@ impl std::fmt::Display for DatasetStats {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::builder::DatasetBuilder;
 
     #[test]

@@ -200,7 +200,7 @@ mod tests {
         // Coverage stays within the configured bounds (roughly).
         for s in synth.dataset.sources() {
             let cov = synth.dataset.coverage(s) as f64 / config.num_items as f64;
-            assert!(cov >= 0.3 && cov <= 1.0, "coverage {cov} out of range for {s}");
+            assert!((0.3..=1.0).contains(&cov), "coverage {cov} out of range for {s}");
         }
     }
 

@@ -4,7 +4,8 @@
 //! low-coverage sources (the majority, in web data) still get copy-checked.
 //!
 //! The example compares naive item sampling against SCALESAMPLE at the same
-//! budget on a Book-full-like workload.
+//! budget on a Book-CS-like workload: dense enough that detection has signal
+//! to lose, Zipf-skewed enough that naive sampling actually loses it.
 //!
 //! Run with: `cargo run --release --example sampled_web_scale`
 
@@ -30,7 +31,7 @@ fn run_with_strategy(
 }
 
 fn main() {
-    let workload = synth::presets::book_full(0.02, 4242);
+    let workload = synth::presets::book_cs(0.12, 4242);
     let dataset = &workload.dataset;
     println!(
         "Web-scale workload: {} sources, {} items, {} claims",

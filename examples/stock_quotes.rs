@@ -14,7 +14,7 @@ use copydetect::prelude::*;
 use copydetect::synth;
 
 fn main() {
-    let workload = synth::presets::stock_1day(0.02, 7_7_2011);
+    let workload = synth::presets::stock_1day(0.02, 772_011);
     let dataset = &workload.dataset;
     let stats = dataset.stats();
     println!("Stock quotes workload: {}", workload.name);

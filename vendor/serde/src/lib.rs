@@ -1,0 +1,19 @@
+//! Offline stub of `serde`.
+//!
+//! Declares the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derives from the stub `serde_derive`, so workspace code written
+//! against the real serde API compiles without network access. No actual
+//! serialization machinery is provided; swap this path dependency for the
+//! registry crate to get real formats.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`. The stub derives do not implement
+/// it; nothing in the workspace requires the bound yet.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace serializes values yet — the `#[derive(Serialize, Deserialize)]`
+//! annotations only declare intent for future wire formats. These derives
+//! therefore accept the same syntax as the real crate (including `#[serde(...)]`
+//! helper attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
