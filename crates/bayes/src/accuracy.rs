@@ -30,7 +30,10 @@ impl SourceAccuracies {
     /// sources at the same accuracy).
     pub fn uniform(num_sources: usize, initial: f64) -> Result<Self, BayesError> {
         if !(0.0..=1.0).contains(&initial) {
-            return Err(BayesError::InvalidProbability { what: "initial accuracy", value: initial });
+            return Err(BayesError::InvalidProbability {
+                what: "initial accuracy",
+                value: initial,
+            });
         }
         Ok(Self { values: vec![clamp(initial); num_sources] })
     }
@@ -68,12 +71,24 @@ impl SourceAccuracies {
         self.values[s.index()] = clamp(accuracy);
     }
 
+    /// Extends the table to cover the sources of `other`, copying the
+    /// accuracies of the sources this table does not know yet. Existing
+    /// entries are left untouched.
+    ///
+    /// Used when a dataset delta introduces new sources: the old-state
+    /// snapshot kept by incremental detection is padded with the new state's
+    /// values, so new sources never register as an accuracy *change*.
+    ///
+    /// # Panics
+    /// Panics if `other` covers fewer sources than `self`.
+    pub fn extend_from(&mut self, other: &SourceAccuracies) {
+        assert!(other.len() >= self.len(), "cannot extend from a smaller accuracy table");
+        self.values.extend_from_slice(&other.values[self.len()..]);
+    }
+
     /// Iterates over `(source, accuracy)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SourceId, f64)> + '_ {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| (SourceId::from_index(i), a))
+        self.values.iter().enumerate().map(|(i, &a)| (SourceId::from_index(i), a))
     }
 
     /// The raw accuracy slice, indexed by `SourceId::index()`.
@@ -86,11 +101,7 @@ impl SourceAccuracies {
     /// variance" quality measure.
     pub fn max_abs_diff(&self, other: &SourceAccuracies) -> f64 {
         assert_eq!(self.len(), other.len(), "accuracy tables must cover the same sources");
-        self.values
-            .iter()
-            .zip(&other.values)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.values.iter().zip(&other.values).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Mean absolute accuracy difference against another table.
@@ -99,12 +110,7 @@ impl SourceAccuracies {
         if self.values.is_empty() {
             return 0.0;
         }
-        let sum: f64 = self
-            .values
-            .iter()
-            .zip(&other.values)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let sum: f64 = self.values.iter().zip(&other.values).map(|(a, b)| (a - b).abs()).sum();
         sum / self.values.len() as f64
     }
 }
@@ -164,5 +170,27 @@ mod tests {
         let a = SourceAccuracies::uniform(0, 0.8).unwrap();
         assert!(a.is_empty());
         assert_eq!(a.mean_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn extend_from_pads_new_sources_only() {
+        let mut a = SourceAccuracies::from_vec(vec![0.5, 0.6]).unwrap();
+        let b = SourceAccuracies::from_vec(vec![0.9, 0.9, 0.7, 0.8]).unwrap();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 4);
+        // Existing entries untouched, new ones copied from `b`.
+        assert_eq!(a.get(SourceId::new(0)), 0.5);
+        assert_eq!(a.get(SourceId::new(1)), 0.6);
+        assert_eq!(a.get(SourceId::new(2)), 0.7);
+        assert_eq!(a.get(SourceId::new(3)), 0.8);
+        assert_eq!(a.max_abs_diff(&b), 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extend from a smaller")]
+    fn extend_from_rejects_smaller_tables() {
+        let mut a = SourceAccuracies::uniform(3, 0.8).unwrap();
+        let b = SourceAccuracies::uniform(1, 0.8).unwrap();
+        a.extend_from(&b);
     }
 }

@@ -54,10 +54,7 @@ pub fn same_value_score(p: f64, a_copier: f64, a_original: f64, params: &CopyPar
 /// `s2`.
 #[inline]
 pub fn same_value_scores_both(p: f64, a_s1: f64, a_s2: f64, params: &CopyParams) -> (f64, f64) {
-    (
-        same_value_score(p, a_s1, a_s2, params),
-        same_value_score(p, a_s2, a_s1, params),
-    )
+    (same_value_score(p, a_s1, a_s2, params), same_value_score(p, a_s2, a_s1, params))
 }
 
 /// Contribution score of an item on which the two sources provide *different*

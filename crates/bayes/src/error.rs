@@ -47,7 +47,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = BayesError::InvalidParameter { name: "alpha", value: 0.7, requirement: "0 < alpha < 0.5" };
+        let e = BayesError::InvalidParameter {
+            name: "alpha",
+            value: 0.7,
+            requirement: "0 < alpha < 0.5",
+        };
         assert!(e.to_string().contains("alpha"));
         assert!(e.to_string().contains("0.7"));
         let e = BayesError::InvalidProbability { what: "value probability", value: 1.5 };

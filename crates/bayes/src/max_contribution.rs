@@ -73,7 +73,11 @@ pub fn max_contribution(p: f64, provider_accuracies: &[f64], params: &CopyParams
 /// Brute-force reference: the maximum of Eq. 6 over every ordered pair of
 /// distinct providers. `O(k²)` in the number of providers; used in tests to
 /// validate [`max_contribution`] and available for diagnostics.
-pub fn max_contribution_exhaustive(p: f64, provider_accuracies: &[f64], params: &CopyParams) -> f64 {
+pub fn max_contribution_exhaustive(
+    p: f64,
+    provider_accuracies: &[f64],
+    params: &CopyParams,
+) -> f64 {
     assert!(provider_accuracies.len() >= 2);
     let mut best = f64::NEG_INFINITY;
     for (i, &copier) in provider_accuracies.iter().enumerate() {

@@ -215,7 +215,8 @@ mod tests {
     use super::*;
     use copydet_model::motivating_example;
 
-    fn context_fixture() -> (copydet_model::MotivatingExample, SourceAccuracies, ValueProbabilities) {
+    fn context_fixture() -> (copydet_model::MotivatingExample, SourceAccuracies, ValueProbabilities)
+    {
         let ex = motivating_example();
         let accuracies = SourceAccuracies::from_vec(ex.accuracies.clone()).unwrap();
         let probabilities = ValueProbabilities::from_table(ex.probability_table()).unwrap();
@@ -226,7 +227,12 @@ mod tests {
     #[test]
     fn example_2_1_copying_pair() {
         let (ex, accuracies, probabilities) = context_fixture();
-        let ctx = ScoringContext::new(&ex.dataset, &accuracies, &probabilities, CopyParams::paper_defaults());
+        let ctx = ScoringContext::new(
+            &ex.dataset,
+            &accuracies,
+            &probabilities,
+            CopyParams::paper_defaults(),
+        );
         let (evidence, posterior, decision) =
             pairwise_scores(&ctx, SourceId::new(2), SourceId::new(3));
         assert_eq!(evidence.shared_values, 4);
@@ -242,7 +248,12 @@ mod tests {
     #[test]
     fn example_2_1_independent_pair() {
         let (ex, accuracies, probabilities) = context_fixture();
-        let ctx = ScoringContext::new(&ex.dataset, &accuracies, &probabilities, CopyParams::paper_defaults());
+        let ctx = ScoringContext::new(
+            &ex.dataset,
+            &accuracies,
+            &probabilities,
+            CopyParams::paper_defaults(),
+        );
         let (evidence, posterior, decision) =
             pairwise_scores(&ctx, SourceId::new(0), SourceId::new(1));
         assert_eq!(evidence.shared_values, 4);
@@ -257,14 +268,20 @@ mod tests {
     #[test]
     fn scoring_is_symmetric_under_swap() {
         let (ex, accuracies, probabilities) = context_fixture();
-        let ctx = ScoringContext::new(&ex.dataset, &accuracies, &probabilities, CopyParams::paper_defaults());
+        let ctx = ScoringContext::new(
+            &ex.dataset,
+            &accuracies,
+            &probabilities,
+            CopyParams::paper_defaults(),
+        );
         for (a, b) in [(0u32, 5u32), (2, 4), (6, 8), (1, 9)] {
             let e1 = ctx.score_pair(SourceId::new(a), SourceId::new(b));
             let e2 = ctx.score_pair(SourceId::new(b), SourceId::new(a));
             assert!((e1.c_to - e2.c_from).abs() < 1e-9);
             assert!((e1.c_from - e2.c_to).abs() < 1e-9);
             assert!(
-                (e1.posterior_independence(&ctx.params) - e2.posterior_independence(&ctx.params)).abs()
+                (e1.posterior_independence(&ctx.params) - e2.posterior_independence(&ctx.params))
+                    .abs()
                     < 1e-12
             );
         }
@@ -276,7 +293,12 @@ mod tests {
     #[test]
     fn disjoint_pair_has_prior_posterior() {
         let (ex, accuracies, probabilities) = context_fixture();
-        let ctx = ScoringContext::new(&ex.dataset, &accuracies, &probabilities, CopyParams::paper_defaults());
+        let ctx = ScoringContext::new(
+            &ex.dataset,
+            &accuracies,
+            &probabilities,
+            CopyParams::paper_defaults(),
+        );
         // S0 provides NJ, AZ, NY, TX; S6 provides AZ, NY, FL, TX — they do
         // share items, so use a constructed check instead: evidence with no
         // observations.
@@ -291,7 +313,12 @@ mod tests {
     #[test]
     fn pairwise_decisions_match_planted_truth_for_key_pairs() {
         let (ex, accuracies, probabilities) = context_fixture();
-        let ctx = ScoringContext::new(&ex.dataset, &accuracies, &probabilities, CopyParams::paper_defaults());
+        let ctx = ScoringContext::new(
+            &ex.dataset,
+            &accuracies,
+            &probabilities,
+            CopyParams::paper_defaults(),
+        );
         let copying = [(2u32, 3u32), (2, 4), (3, 4), (6, 7), (6, 8), (7, 8)];
         for (a, b) in copying {
             let (_, _, decision) = pairwise_scores(&ctx, SourceId::new(a), SourceId::new(b));

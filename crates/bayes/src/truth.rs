@@ -33,7 +33,10 @@ impl ValueProbabilities {
     /// Creates an empty table with an explicit fallback probability.
     pub fn with_default(num_items: usize, default: f64) -> Result<Self, BayesError> {
         if !(0.0..=1.0).contains(&default) || default.is_nan() {
-            return Err(BayesError::InvalidProbability { what: "default value probability", value: default });
+            return Err(BayesError::InvalidProbability {
+                what: "default value probability",
+                value: default,
+            });
         }
         Ok(Self { per_item: vec![Vec::new(); num_items], default })
     }
@@ -74,6 +77,19 @@ impl ValueProbabilities {
         self.default
     }
 
+    /// Extends the table to cover `num_items` items, appending empty rows
+    /// (which resolve to the table default). A no-op if the table already
+    /// covers at least that many items.
+    ///
+    /// Used when a dataset delta introduces new items: the old-state snapshot
+    /// kept by incremental detection must index safely into the grown item
+    /// space.
+    pub fn extend_items(&mut self, num_items: usize) {
+        if num_items > self.per_item.len() {
+            self.per_item.resize(num_items, Vec::new());
+        }
+    }
+
     /// Sets `P(d.v)`.
     pub fn set(&mut self, d: ItemId, v: ValueId, p: f64) -> Result<(), BayesError> {
         if !(0.0..=1.0).contains(&p) || p.is_nan() {
@@ -91,9 +107,7 @@ impl ValueProbabilities {
     #[inline]
     pub fn lookup(&self, d: ItemId, v: ValueId) -> Option<f64> {
         let row = &self.per_item[d.index()];
-        row.binary_search_by_key(&v, |&(value, _)| value)
-            .ok()
-            .map(|i| row[i].1)
+        row.binary_search_by_key(&v, |&(value, _)| value).ok().map(|i| row[i].1)
     }
 
     /// Returns `P(d.v)`, falling back to the table default.
@@ -198,5 +212,18 @@ mod tests {
         let d2 = b.max_abs_diff(&a);
         assert!((d1 - d2).abs() < 1e-12);
         assert!((d1 - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_items_appends_default_rows() {
+        let mut p = ValueProbabilities::new(1);
+        p.set(ItemId::new(0), ValueId::new(0), 0.9).unwrap();
+        p.extend_items(3);
+        assert_eq!(p.num_items(), 3);
+        assert_eq!(p.lookup(ItemId::new(0), ValueId::new(0)), Some(0.9));
+        assert_eq!(p.get(ItemId::new(2), ValueId::new(5)), 0.5);
+        // Shrinking is a no-op.
+        p.extend_items(1);
+        assert_eq!(p.num_items(), 3);
     }
 }

@@ -18,7 +18,8 @@ fn bench_hybrid_threshold(c: &mut Criterion) {
     for synth in small_workloads() {
         let state = BootstrapState::new(&synth);
         for threshold in [0u32, 4, 16, 64, u32::MAX] {
-            let label = if threshold == u32::MAX { "inf".to_string() } else { threshold.to_string() };
+            let label =
+                if threshold == u32::MAX { "inf".to_string() } else { threshold.to_string() };
             group.bench_with_input(
                 BenchmarkId::new(format!("threshold_{label}"), &synth.name),
                 &synth,

@@ -1,0 +1,102 @@
+//! `copydet-store` performance: ingest throughput, snapshot latency vs. a
+//! from-scratch batch rebuild, and warm (store-maintained shared counts) vs.
+//! cold index construction.
+
+use copydet_bench::{small_workloads, BootstrapState};
+use copydet_index::InvertedIndex;
+use copydet_store::ClaimStore;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn claims_of(synth: &copydet_synth::SyntheticDataset) -> Vec<(String, String, String)> {
+    synth
+        .dataset
+        .claim_refs()
+        .map(|c| (c.source.to_owned(), c.item.to_owned(), c.value.to_owned()))
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_ingest");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for synth in small_workloads() {
+        let claims = claims_of(&synth);
+        group.bench_with_input(BenchmarkId::from_parameter(&synth.name), &claims, |b, claims| {
+            b.iter(|| {
+                let mut store = ClaimStore::new();
+                for (s, d, v) in claims {
+                    store.ingest(s, d, v);
+                }
+                store.num_claims()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot_vs_batch_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_snapshot_vs_batch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for synth in small_workloads() {
+        let claims = claims_of(&synth);
+        let mut store = ClaimStore::new();
+        for (s, d, v) in &claims {
+            store.ingest(s, d, v);
+        }
+        store.seal();
+        group.bench_with_input(BenchmarkId::new("snapshot", &synth.name), &(), |b, _| {
+            b.iter(|| store.snapshot().dataset.num_claims())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("batch_rebuild", &synth.name),
+            &claims,
+            |b, claims| {
+                b.iter(|| {
+                    let mut builder = copydet_model::DatasetBuilder::new();
+                    for (s, d, v) in claims {
+                        builder.add_claim(s, d, v);
+                    }
+                    builder.build().num_claims()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_warm_vs_cold_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_index_build");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for synth in small_workloads() {
+        let state = BootstrapState::new(&synth);
+        let mut store = ClaimStore::new();
+        for c in synth.dataset.claim_refs() {
+            store.ingest(c.source, c.item, c.value);
+        }
+        let snapshot = store.snapshot();
+        group.bench_with_input(BenchmarkId::new("warm", &synth.name), &(), |b, _| {
+            b.iter(|| {
+                store.build_index(&snapshot, &state.accuracies, &state.probabilities, &state.params)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cold", &synth.name), &(), |b, _| {
+            b.iter(|| {
+                InvertedIndex::build(
+                    &snapshot.dataset,
+                    &state.accuracies,
+                    &state.probabilities,
+                    &state.params,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_snapshot_vs_batch_rebuild, bench_warm_vs_cold_index);
+criterion_main!(benches);

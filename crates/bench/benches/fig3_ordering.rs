@@ -2,7 +2,7 @@
 //! ByContribution) on BOUND and HYBRID.
 
 use copydet_bench::{small_workloads, BootstrapState};
-use copydet_detect::{CopyDetector, BoundDetector, HybridDetector};
+use copydet_detect::{BoundDetector, CopyDetector, HybridDetector};
 use copydet_index::EntryOrdering;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 

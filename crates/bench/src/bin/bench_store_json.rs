@@ -1,0 +1,157 @@
+//! Emits `BENCH_store.json`: a machine-readable perf snapshot of the claim
+//! store so the performance trajectory accumulates data points across PRs.
+//!
+//! Measures, per benchmark workload:
+//! * ingest throughput (claims/s into a fresh store),
+//! * snapshot latency vs. a from-scratch `DatasetBuilder` rebuild,
+//! * warm (store-maintained shared counts) vs. cold inverted-index build,
+//! * delta-round vs. from-scratch detection computations for a 1% delta.
+//!
+//! Run with: `cargo run --release -p copydet-bench --bin bench_store_json`
+
+use copydet_bench::{small_workloads, BootstrapState};
+use copydet_detect::{CopyDetector, HybridDetector, RoundInput};
+use copydet_index::InvertedIndex;
+use copydet_store::{ClaimStore, LiveDetector};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn median_secs(mut runs: Vec<f64>) -> f64 {
+    runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    runs[runs.len() / 2]
+}
+
+fn time_n(n: usize, mut f: impl FnMut()) -> f64 {
+    let runs: Vec<f64> = (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    median_secs(runs)
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    for synth in small_workloads() {
+        let claims: Vec<(String, String, String)> = synth
+            .dataset
+            .claim_refs()
+            .map(|c| (c.source.to_owned(), c.item.to_owned(), c.value.to_owned()))
+            .collect();
+        let n = claims.len();
+
+        let ingest_s = time_n(5, || {
+            let mut store = ClaimStore::new();
+            for (s, d, v) in &claims {
+                store.ingest(s, d, v);
+            }
+            assert!(store.num_claims() > 0);
+        });
+
+        let mut store = ClaimStore::new();
+        for (s, d, v) in &claims {
+            store.ingest(s, d, v);
+        }
+        store.seal();
+        let snapshot_s = time_n(5, || {
+            let snap = store.snapshot();
+            assert_eq!(snap.dataset.num_claims(), store.num_claims());
+        });
+        let rebuild_s = time_n(5, || {
+            let mut b = copydet_model::DatasetBuilder::new();
+            for (s, d, v) in &claims {
+                b.add_claim(s, d, v);
+            }
+            assert!(b.build().num_claims() > 0);
+        });
+
+        let state = BootstrapState::new(&synth);
+        let snapshot = store.snapshot();
+        let warm_index_s = time_n(5, || {
+            let _ = store.build_index(
+                &snapshot,
+                &state.accuracies,
+                &state.probabilities,
+                &state.params,
+            );
+        });
+        let cold_index_s = time_n(5, || {
+            let _ = InvertedIndex::build(
+                &snapshot.dataset,
+                &state.accuracies,
+                &state.probabilities,
+                &state.params,
+            );
+        });
+
+        // Delta round vs from-scratch: hold back ~1% of the claims.
+        let holdback = (n / 100).max(5).min(n.saturating_sub(1));
+        let (head, tail) = claims.split_at(n - holdback);
+        let mut delta_store = ClaimStore::new();
+        let mut live = LiveDetector::new();
+        for (s, d, v) in head {
+            delta_store.ingest(s, d, v);
+        }
+        let _ = live.observe(&delta_store.snapshot());
+        for (s, d, v) in tail {
+            delta_store.ingest(s, d, v);
+        }
+        let snap2 = delta_store.snapshot();
+        let delta_start = Instant::now();
+        let delta_result = live.observe(&snap2);
+        let delta_round_s = delta_start.elapsed().as_secs_f64();
+        let (accuracies, probabilities) = live.bootstrap_state(&snap2);
+        let params = copydet_bayes::CopyParams::paper_defaults();
+        let scratch_start = Instant::now();
+        let scratch = HybridDetector::new()
+            .detect_round(&RoundInput::new(&snap2.dataset, &accuracies, &probabilities, params), 1);
+        let scratch_s = scratch_start.elapsed().as_secs_f64();
+
+        let mut e = String::new();
+        let _ = write!(
+            e,
+            concat!(
+                "    {{\n",
+                "      \"workload\": \"{}\",\n",
+                "      \"claims\": {},\n",
+                "      \"ingest_claims_per_s\": {:.0},\n",
+                "      \"snapshot_s\": {:.6},\n",
+                "      \"batch_rebuild_s\": {:.6},\n",
+                "      \"index_build_warm_s\": {:.6},\n",
+                "      \"index_build_cold_s\": {:.6},\n",
+                "      \"delta_round_s\": {:.6},\n",
+                "      \"from_scratch_round_s\": {:.6},\n",
+                "      \"delta_pair_finalizations\": {},\n",
+                "      \"from_scratch_pair_finalizations\": {},\n",
+                "      \"delta_computations\": {},\n",
+                "      \"from_scratch_computations\": {}\n",
+                "    }}"
+            ),
+            synth.name,
+            n,
+            n as f64 / ingest_s,
+            snapshot_s,
+            rebuild_s,
+            warm_index_s,
+            cold_index_s,
+            delta_round_s,
+            scratch_s,
+            delta_result.counter.pair_finalizations,
+            scratch.counter.pair_finalizations,
+            delta_result.computations(),
+            scratch.computations(),
+        );
+        entries.push(e);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"store\",\n  \"seed\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        copydet_bench::SEED,
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_store.json");
+}

@@ -2,7 +2,7 @@
 
 use crate::result::DetectionResult;
 use copydet_bayes::{CopyParams, ScoringContext, SourceAccuracies, ValueProbabilities};
-use copydet_model::Dataset;
+use copydet_model::{Dataset, DatasetDelta};
 
 /// Everything a detection round needs: the claims, the current estimates of
 /// source accuracy and value truthfulness, and the model priors.
@@ -20,17 +20,32 @@ pub struct RoundInput<'a> {
     pub probabilities: &'a ValueProbabilities,
     /// Model priors (α, n, s).
     pub params: CopyParams,
+    /// Claims added or changed since the detector last saw this dataset
+    /// (`None` for a fixed dataset, the batch reproduction case).
+    ///
+    /// Stateful detectors use the delta to maintain their cross-round
+    /// bookkeeping instead of rescanning: `IncrementalDetector` rebuilds only
+    /// the index entries of touched items and re-decides only the pairs the
+    /// delta can have affected. Stateless detectors ignore it.
+    pub delta: Option<&'a DatasetDelta>,
 }
 
 impl<'a> RoundInput<'a> {
-    /// Creates a round input.
+    /// Creates a round input over a fixed dataset (no delta).
     pub fn new(
         dataset: &'a Dataset,
         accuracies: &'a SourceAccuracies,
         probabilities: &'a ValueProbabilities,
         params: CopyParams,
     ) -> Self {
-        Self { dataset, accuracies, probabilities, params }
+        Self { dataset, accuracies, probabilities, params, delta: None }
+    }
+
+    /// Attaches the claim delta that grew `dataset` since the previous
+    /// detection round.
+    pub fn with_delta(mut self, delta: &'a DatasetDelta) -> Self {
+        self.delta = Some(delta);
+        self
     }
 
     /// A per-pair scoring context over the same state.

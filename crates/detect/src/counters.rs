@@ -88,7 +88,8 @@ mod tests {
     #[test]
     fn add_assign_accumulates() {
         let mut a = ComputationCounter { score_updates: 1, ..Default::default() };
-        let b = ComputationCounter { score_updates: 2, bound_computations: 5, ..Default::default() };
+        let b =
+            ComputationCounter { score_updates: 2, bound_computations: 5, ..Default::default() };
         a += b;
         assert_eq!(a.score_updates, 3);
         assert_eq!(a.bound_computations, 5);

@@ -64,8 +64,7 @@ impl FaginInput {
 
         let mut value_lists = Vec::with_capacity(index.len());
         for entry in index.entries() {
-            let mut list: Vec<(DirectedPair, f64)> =
-                Vec::with_capacity(entry.num_pairs() * 2);
+            let mut list: Vec<(DirectedPair, f64)> = Vec::with_capacity(entry.num_pairs() * 2);
             for i in 0..entry.providers.len() {
                 for j in (i + 1)..entry.providers.len() {
                     let pair = SourcePair::new(entry.providers[i], entry.providers[j]);
@@ -141,8 +140,12 @@ impl CopyDetector for FaginInputDetector {
 
     fn detect_round(&mut self, input: &RoundInput<'_>, _round: usize) -> DetectionResult {
         let build_start = Instant::now();
-        let index =
-            InvertedIndex::build(input.dataset, input.accuracies, input.probabilities, &input.params);
+        let index = InvertedIndex::build(
+            input.dataset,
+            input.accuracies,
+            input.probabilities,
+            &input.params,
+        );
         let index_build_time = build_start.elapsed();
 
         let start = Instant::now();

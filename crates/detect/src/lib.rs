@@ -29,8 +29,8 @@ mod counters;
 mod error;
 mod fagin;
 mod incremental;
-pub mod parallel;
 mod pairwise;
+pub mod parallel;
 mod result;
 mod sampling;
 mod scan;

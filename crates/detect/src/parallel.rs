@@ -41,11 +41,8 @@ pub fn parallel_index_scan(
     let entries = index.entries();
 
     let chunk_size = entries.len().div_ceil(num_threads).max(1);
-    let chunks: Vec<(usize, &[copydet_index::IndexEntry])> = entries
-        .chunks(chunk_size)
-        .enumerate()
-        .map(|(i, c)| (i * chunk_size, c))
-        .collect();
+    let chunks: Vec<(usize, &[copydet_index::IndexEntry])> =
+        entries.chunks(chunk_size).enumerate().map(|(i, c)| (i * chunk_size, c)).collect();
 
     let partials: Vec<(HashMap<SourcePair, PartialPair>, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
@@ -143,12 +140,8 @@ mod tests {
     use copydet_bayes::{CopyParams, SourceAccuracies, ValueProbabilities};
     use copydet_model::motivating_example;
 
-    fn input_fixture() -> (
-        copydet_model::MotivatingExample,
-        SourceAccuracies,
-        ValueProbabilities,
-        CopyParams,
-    ) {
+    fn input_fixture(
+    ) -> (copydet_model::MotivatingExample, SourceAccuracies, ValueProbabilities, CopyParams) {
         let ex = motivating_example();
         let acc = SourceAccuracies::from_vec(ex.accuracies.clone()).unwrap();
         let probs = ValueProbabilities::from_table(ex.probability_table()).unwrap();

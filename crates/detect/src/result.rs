@@ -64,18 +64,12 @@ impl DetectionResult {
 
     /// The decision for a pair; pairs never materialized are independent.
     pub fn decision(&self, pair: SourcePair) -> CopyDecision {
-        self.outcomes
-            .get(&pair)
-            .map(|o| o.decision)
-            .unwrap_or(CopyDecision::NoCopying)
+        self.outcomes.get(&pair).map(|o| o.decision).unwrap_or(CopyDecision::NoCopying)
     }
 
     /// Iterator over the pairs decided as copying.
     pub fn copying_pairs(&self) -> impl Iterator<Item = SourcePair> + '_ {
-        self.outcomes
-            .iter()
-            .filter(|(_, o)| o.decision.is_copying())
-            .map(|(&p, _)| p)
+        self.outcomes.iter().filter(|(_, o)| o.decision.is_copying()).map(|(&p, _)| p)
     }
 
     /// Number of pairs decided as copying.
@@ -108,7 +102,12 @@ mod tests {
         let mut r = DetectionResult::new("test");
         r.outcomes.insert(
             pair(0, 1),
-            PairOutcome { decision: CopyDecision::Copying, posterior: Some(0.01), c_to: 5.0, c_from: 5.0 },
+            PairOutcome {
+                decision: CopyDecision::Copying,
+                posterior: Some(0.01),
+                c_to: 5.0,
+                c_from: 5.0,
+            },
         );
         assert_eq!(r.decision(pair(0, 1)), CopyDecision::Copying);
         assert_eq!(r.decision(pair(0, 2)), CopyDecision::NoCopying);

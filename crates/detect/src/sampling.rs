@@ -104,11 +104,8 @@ pub fn sample_items(
                 if already >= min_items_per_source || claims.is_empty() {
                     continue;
                 }
-                let mut candidates: Vec<ItemId> = claims
-                    .iter()
-                    .map(|&(d, _)| d)
-                    .filter(|d| !keep.contains(d))
-                    .collect();
+                let mut candidates: Vec<ItemId> =
+                    claims.iter().map(|&(d, _)| d).filter(|d| !keep.contains(d)).collect();
                 candidates.shuffle(&mut rng);
                 let need = (min_items_per_source - already).min(candidates.len());
                 keep.extend(candidates.into_iter().take(need));
@@ -168,12 +165,8 @@ impl<D: CopyDetector> CopyDetector for SampledDetector<D> {
         let projected = input.dataset.project_items(sample);
         let sampling_time = start.elapsed();
 
-        let projected_input = RoundInput::new(
-            &projected,
-            input.accuracies,
-            input.probabilities,
-            input.params,
-        );
+        let projected_input =
+            RoundInput::new(&projected, input.accuracies, input.probabilities, input.params);
         let mut result = self.inner.detect_round(&projected_input, round);
         result.algorithm = self.name.to_string();
         result.detection_time += sampling_time;
@@ -199,10 +192,11 @@ mod tests {
         let ex = motivating_example();
         let items = sample_items(&ex.dataset, SamplingStrategy::ByItem { rate: 0.4 }, 1).unwrap();
         assert_eq!(items.len(), 2); // 40% of 5 items
-        // deterministic
+                                    // deterministic
         let again = sample_items(&ex.dataset, SamplingStrategy::ByItem { rate: 0.4 }, 1).unwrap();
         assert_eq!(items, again);
-        let other_seed = sample_items(&ex.dataset, SamplingStrategy::ByItem { rate: 0.4 }, 2).unwrap();
+        let other_seed =
+            sample_items(&ex.dataset, SamplingStrategy::ByItem { rate: 0.4 }, 2).unwrap();
         assert_eq!(other_seed.len(), 2);
     }
 
@@ -226,12 +220,7 @@ mod tests {
         )
         .unwrap();
         for s in ex.dataset.sources() {
-            let kept = ex
-                .dataset
-                .claims_of(s)
-                .iter()
-                .filter(|(d, _)| items.contains(d))
-                .count();
+            let kept = ex.dataset.claims_of(s).iter().filter(|(d, _)| items.contains(d)).count();
             let available = ex.dataset.coverage(s);
             assert!(kept >= 3.min(available), "source {s} kept only {kept} items");
         }

@@ -263,7 +263,8 @@ pub fn index_scan(
 
                 // Lower bounds (Eq. 9): assume every remaining shared item
                 // disagrees.
-                let check_min = !config.lazy_bounds || first_observation || n0 >= state.next_min_check;
+                let check_min =
+                    !config.lazy_bounds || first_observation || n0 >= state.next_min_check;
                 if check_min {
                     let remaining = (l - n0) as f64;
                     let cmin_to = state.evidence.c_to + remaining * diff_penalty;
@@ -355,7 +356,8 @@ pub fn index_scan(
                 state.decision_pos = u32::MAX;
                 state.c_dec_to = state.evidence.c_to;
                 state.c_dec_from = state.evidence.c_from;
-                if state.mode == PairMode::Bounded && state.evidence.implies_no_copying(&thresholds) {
+                if state.mode == PairMode::Bounded && state.evidence.implies_no_copying(&thresholds)
+                {
                     PairOutcome {
                         decision: CopyDecision::NoCopying,
                         posterior: None,
@@ -381,14 +383,13 @@ pub fn index_scan(
             // Ĉ for copying pairs removes the pessimistic penalty that Cmin
             // charged for the shared values observed after the decision
             // point; for everything else Ĉ is the recorded score itself.
-            let (c_hat_to, c_hat_from) = if decided_by_bounds
-                && outcome.decision == CopyDecision::Copying
-            {
-                let lift = state.shared_after_decision as f64 * params.different_value_score();
-                (state.c_dec_to - lift, state.c_dec_from - lift)
-            } else {
-                (state.c_dec_to, state.c_dec_from)
-            };
+            let (c_hat_to, c_hat_from) =
+                if decided_by_bounds && outcome.decision == CopyDecision::Copying {
+                    let lift = state.shared_after_decision as f64 * params.different_value_score();
+                    (state.c_dec_to - lift, state.c_dec_from - lift)
+                } else {
+                    (state.c_dec_to, state.c_dec_from)
+                };
             records.pairs.insert(
                 pair,
                 PairScanRecord {
@@ -412,7 +413,8 @@ pub fn index_scan(
 
 fn build_index(input: &RoundInput<'_>) -> (InvertedIndex, std::time::Duration) {
     let start = Instant::now();
-    let index = InvertedIndex::build(input.dataset, input.accuracies, input.probabilities, &input.params);
+    let index =
+        InvertedIndex::build(input.dataset, input.accuracies, input.probabilities, &input.params);
     (index, start.elapsed())
 }
 
@@ -514,7 +516,8 @@ impl CopyDetector for BoundDetector {
 
     fn detect_round(&mut self, input: &RoundInput<'_>, _round: usize) -> DetectionResult {
         let (index, build_time) = build_index(input);
-        let config = IndexScanConfig { ordering: self.ordering, ..IndexScanConfig::bound(self.lazy) };
+        let config =
+            IndexScanConfig { ordering: self.ordering, ..IndexScanConfig::bound(self.lazy) };
         let mut out = index_scan(input, &index, &config, self.name());
         out.result.index_build_time = build_time;
         out.result

@@ -14,7 +14,15 @@ pub fn run(config: &ExperimentConfig) -> TextTable {
             "Table V — overview of data sets (book scale {}, stock scale {})",
             config.book_scale, config.stock_scale
         ),
-        &["Dataset", "#Srcs", "#Items", "#Dist-values", "#Index-entries", "Avg values/item", "Low-coverage srcs"],
+        &[
+            "Dataset",
+            "#Srcs",
+            "#Items",
+            "#Dist-values",
+            "#Index-entries",
+            "Avg values/item",
+            "Low-coverage srcs",
+        ],
     );
     for synth in workloads(config) {
         let stats = synth.dataset.stats();
@@ -24,8 +32,8 @@ pub fn run(config: &ExperimentConfig) -> TextTable {
         let params = CopyParams::paper_defaults();
         let accuracies =
             SourceAccuracies::uniform(synth.dataset.num_sources(), 0.8).expect("valid accuracy");
-        let probabilities =
-            ValueProbabilities::uniform_over_dataset(&synth.dataset, 0.5).expect("valid probability");
+        let probabilities = ValueProbabilities::uniform_over_dataset(&synth.dataset, 0.5)
+            .expect("valid probability");
         let index = InvertedIndex::build(&synth.dataset, &accuracies, &probabilities, &params);
         assert_eq!(index.len(), stats.num_shared_item_values);
         table.add_row(vec![

@@ -17,7 +17,8 @@ pub fn run(config: &ExperimentConfig) -> TextTable {
     let mut headers = vec!["Method".to_string()];
     headers.extend(sets.iter().map(|s| s.name.clone()));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = TextTable::new("Table X — execution-time ratio w.r.t. FAGININPUT", &header_refs);
+    let mut table =
+        TextTable::new("Table X — execution-time ratio w.r.t. FAGININPUT", &header_refs);
 
     let mut hybrid_row = vec!["HYBRID (single round)".to_string()];
     let mut incremental_row = vec!["INCREMENTAL (all rounds)".to_string()];

@@ -22,11 +22,7 @@ pub struct IncrementalMeasurement {
 }
 
 fn round_times(outcome: &FusionOutcome) -> Vec<f64> {
-    outcome
-        .round_stats
-        .iter()
-        .map(|r| r.timings.copy_detection.as_secs_f64())
-        .collect()
+    outcome.round_stats.iter().map(|r| r.timings.copy_detection.as_secs_f64()).collect()
 }
 
 /// Measures one workload.

@@ -25,17 +25,10 @@ pub fn table_iii_index() -> TextTable {
         &["Value", "Pr", "Score", "Providers", "In Ē"],
     );
     for (idx, entry) in index.entries().iter().enumerate() {
-        let providers: Vec<String> = entry
-            .providers
-            .iter()
-            .map(|&s| ex.dataset.source_name(s).to_string())
-            .collect();
+        let providers: Vec<String> =
+            entry.providers.iter().map(|&s| ex.dataset.source_name(s).to_string()).collect();
         table.add_row(vec![
-            format!(
-                "{}.{}",
-                ex.dataset.item_name(entry.item),
-                ex.dataset.value_str(entry.value)
-            ),
+            format!("{}.{}", ex.dataset.item_name(entry.item), ex.dataset.value_str(entry.value)),
             format!("{:.2}", entry.probability),
             format!("{:.2}", entry.score),
             providers.join(","),
@@ -49,7 +42,8 @@ pub fn table_iii_index() -> TextTable {
 /// process (for the first five sources, as in the paper).
 pub fn table_ii_rounds() -> TextTable {
     let ex = motivating_example();
-    let mut process = AccuCopy::new(FusionConfig::default(), copydet_detect::PairwiseDetector::new());
+    let mut process =
+        AccuCopy::new(FusionConfig::default(), copydet_detect::PairwiseDetector::new());
     let outcome = process.run(&ex.dataset).expect("motivating example is non-empty");
     let mut table = TextTable::new(
         "Table II — source accuracy per round (S0–S4)",
@@ -133,8 +127,7 @@ mod tests {
     fn efficiency_table_shows_index_beats_pairwise() {
         let t = example_efficiency();
         assert_eq!(t.num_rows(), 5);
-        let computations: Vec<u64> =
-            t.rows().iter().map(|r| r[3].parse().unwrap()).collect();
+        let computations: Vec<u64> = t.rows().iter().map(|r| r[3].parse().unwrap()).collect();
         // INDEX (row 1) does fewer computations than PAIRWISE (row 0).
         assert!(computations[1] < computations[0]);
         // Every method finds the 6 planted copying pairs.

@@ -88,7 +88,9 @@ pub fn run(config: &ExperimentConfig) -> Vec<TextTable> {
                 let get = |o: &str| {
                     points
                         .iter()
-                        .find(|p| p.algorithm == algorithm && p.ordering == o && &p.dataset == dataset)
+                        .find(|p| {
+                            p.algorithm == algorithm && p.ordering == o && &p.dataset == dataset
+                        })
                         .map(|p| p.computations as f64)
                         .unwrap_or(f64::NAN)
                 };
@@ -116,7 +118,9 @@ mod tests {
             let get = |ordering: &str| {
                 points
                     .iter()
-                    .find(|p| p.algorithm == "BOUND" && p.ordering == ordering && p.dataset == dataset)
+                    .find(|p| {
+                        p.algorithm == "BOUND" && p.ordering == ordering && p.dataset == dataset
+                    })
                     .unwrap()
                     .computations
             };

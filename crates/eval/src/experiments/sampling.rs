@@ -6,9 +6,7 @@ use crate::metrics::CopyDetectionQuality;
 use crate::runner::{run_fusion, FusionRun};
 use crate::{ExperimentConfig, Method, TextTable};
 use copydet_bayes::CopyParams;
-use copydet_detect::{
-    sample_items, IncrementalDetector, SampledDetector, SamplingStrategy,
-};
+use copydet_detect::{sample_items, IncrementalDetector, SampledDetector, SamplingStrategy};
 use copydet_fusion::{AccuCopy, FusionConfig};
 use copydet_synth::SyntheticDataset;
 use std::collections::HashSet;
@@ -26,11 +24,7 @@ fn copying_with_strategy(
     let config = FusionConfig { params, ..FusionConfig::default() };
     let mut process = AccuCopy::new(config, detector);
     let outcome = process.run(&synth.dataset).expect("non-empty dataset");
-    outcome
-        .final_detection
-        .as_ref()
-        .map(|d| d.copying_pairs().collect())
-        .unwrap_or_default()
+    outcome.final_detection.as_ref().map(|d| d.copying_pairs().collect()).unwrap_or_default()
 }
 
 /// Builds Table IX for the Book-CS-like and Stock-1day-like workloads: the
@@ -56,8 +50,8 @@ pub fn run(config: &ExperimentConfig) -> TextTable {
         // SCALESAMPLE's realized rates define the matched budgets.
         let base_rate = Method::item_sampling_rate(&synth.name);
         let scale_strategy = SamplingStrategy::scale_sample(base_rate);
-        let sampled = sample_items(&synth.dataset, scale_strategy, config.seed)
-            .expect("valid sampling rate");
+        let sampled =
+            sample_items(&synth.dataset, scale_strategy, config.seed).expect("valid sampling rate");
         let item_rate = sampled.len() as f64 / synth.dataset.num_items() as f64;
         let covered_cells: usize =
             sampled.iter().map(|&d| synth.dataset.item_provider_count(d)).sum();
@@ -106,6 +100,9 @@ mod tests {
         // paper's Table IX finding.
         let scale_f: f64 = table.rows()[0][4].parse().unwrap();
         let byitem_f: f64 = table.rows()[1][4].parse().unwrap();
-        assert!(scale_f + 1e-9 >= byitem_f * 0.8, "SCALESAMPLE ({scale_f}) much worse than BYITEM ({byitem_f})");
+        assert!(
+            scale_f + 1e-9 >= byitem_f * 0.8,
+            "SCALESAMPLE ({scale_f}) much worse than BYITEM ({byitem_f})"
+        );
     }
 }

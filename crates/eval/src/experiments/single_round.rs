@@ -53,8 +53,10 @@ pub fn run(config: &ExperimentConfig) -> Vec<TextTable> {
 
     let mut computations =
         TextTable::new("Figure 2 (left) — computations of single-round algorithms", &header_refs);
-    let mut time =
-        TextTable::new("Figure 2 (right) — copy-detection time (s) of single-round algorithms", &header_refs);
+    let mut time = TextTable::new(
+        "Figure 2 (right) — copy-detection time (s) of single-round algorithms",
+        &header_refs,
+    );
     for method in Method::figure2_order() {
         let mut comp_row = vec![method.name().to_string()];
         let mut time_row = vec![method.name().to_string()];

@@ -72,7 +72,9 @@ pub fn render(cells: &[TimingCell]) -> TextTable {
             row.push(format!("{:.3}", time));
             let baseline = match method {
                 Method::Pairwise => None,
-                Method::Sample1 | Method::Sample2 | Method::Index => Some(time_of(Method::Pairwise, dataset)),
+                Method::Sample1 | Method::Sample2 | Method::Index => {
+                    Some(time_of(Method::Pairwise, dataset))
+                }
                 _ => Some(time_of(order[row_idx - 1], dataset)),
             };
             row.push(match baseline {
@@ -118,11 +120,7 @@ mod tests {
         // far fewer computations than PAIRWISE on every dataset.
         for dataset in ["book-cs", "stock-1day", "book-full", "stock-2wk"] {
             let comp = |m: Method| {
-                cells
-                    .iter()
-                    .find(|c| c.method == m && c.dataset == dataset)
-                    .unwrap()
-                    .computations
+                cells.iter().find(|c| c.method == m && c.dataset == dataset).unwrap().computations
             };
             assert!(
                 comp(Method::Index) < comp(Method::Pairwise),

@@ -27,8 +27,8 @@
 
 mod config;
 pub mod experiments;
-pub mod metrics;
 mod methods;
+pub mod metrics;
 mod runner;
 mod table;
 

@@ -60,17 +60,20 @@ impl CopyDetectionQuality {
         } else {
             0.0
         };
-        Self { precision, recall, f_measure, predicted: predicted.len(), reference: reference.len() }
+        Self {
+            precision,
+            recall,
+            f_measure,
+            predicted: predicted.len(),
+            reference: reference.len(),
+        }
     }
 }
 
 /// Fraction of items on which two fusion results disagree (the paper's
 /// "fusion difference"), evaluated over the union of items either result
 /// answered.
-pub fn fusion_difference(
-    a: &HashMap<ItemId, ValueId>,
-    b: &HashMap<ItemId, ValueId>,
-) -> f64 {
+pub fn fusion_difference(a: &HashMap<ItemId, ValueId>, b: &HashMap<ItemId, ValueId>) -> f64 {
     let items: HashSet<ItemId> = a.keys().chain(b.keys()).copied().collect();
     if items.is_empty() {
         return 0.0;
@@ -99,10 +102,8 @@ pub fn fusion_accuracy(
     if items.is_empty() {
         return 0.0;
     }
-    let correct = items
-        .iter()
-        .filter(|item| truths.get(item).copied() == gold.get(item).copied())
-        .count();
+    let correct =
+        items.iter().filter(|item| truths.get(item).copied() == gold.get(item).copied()).count();
     correct as f64 / items.len() as f64
 }
 
@@ -143,12 +144,10 @@ mod tests {
 
     #[test]
     fn fusion_difference_counts_disagreements() {
-        let a: HashMap<_, _> = [
-            (ItemId::new(0), ValueId::new(0)),
-            (ItemId::new(1), ValueId::new(1)),
-        ]
-        .into_iter()
-        .collect();
+        let a: HashMap<_, _> =
+            [(ItemId::new(0), ValueId::new(0)), (ItemId::new(1), ValueId::new(1))]
+                .into_iter()
+                .collect();
         let mut b = a.clone();
         assert_eq!(fusion_difference(&a, &b), 0.0);
         b.insert(ItemId::new(1), ValueId::new(9));
@@ -168,12 +167,10 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let truths: HashMap<_, _> = [
-            (ItemId::new(0), ValueId::new(0)),
-            (ItemId::new(1), ValueId::new(5)),
-        ]
-        .into_iter()
-        .collect();
+        let truths: HashMap<_, _> =
+            [(ItemId::new(0), ValueId::new(0)), (ItemId::new(1), ValueId::new(5))]
+                .into_iter()
+                .collect();
         assert!((fusion_accuracy(&truths, &gold, None) - 1.0 / 3.0).abs() < 1e-12);
         let sample = [ItemId::new(0), ItemId::new(1)];
         assert!((fusion_accuracy(&truths, &gold, Some(&sample)) - 0.5).abs() < 1e-12);

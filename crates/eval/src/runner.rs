@@ -26,7 +26,12 @@ pub struct FusionRun {
 }
 
 /// Runs `method` inside the iterative fusion loop on `synth`.
-pub fn run_fusion(synth: &SyntheticDataset, method: Method, params: CopyParams, seed: u64) -> FusionRun {
+pub fn run_fusion(
+    synth: &SyntheticDataset,
+    method: Method,
+    params: CopyParams,
+    seed: u64,
+) -> FusionRun {
     let detector = method.build_detector(&synth.name, seed);
     let config = FusionConfig { params, ..FusionConfig::default() };
     let mut process = AccuCopy::new(config, DynDetector(detector));

@@ -80,12 +80,18 @@ impl std::fmt::Display for TextTable {
             .map(|(i, h)| format!("{:width$}", h, width = widths.get(i).copied().unwrap_or(0)))
             .collect();
         writeln!(f, "  {}", header.join("  "))?;
-        writeln!(f, "  {}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))?;
+        writeln!(
+            f,
+            "  {}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1))
+        )?;
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))
+                })
                 .collect();
             writeln!(f, "  {}", cells.join("  "))?;
         }

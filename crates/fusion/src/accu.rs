@@ -34,13 +34,16 @@ impl VoteConfig {
 /// detector's result can tell: `1 − posterior` when the posterior is known,
 /// the configured default for pairs decided early, and 0 for pairs judged
 /// independent (or never materialized).
-fn copy_probability(result: Option<&DetectionResult>, pair: SourcePair, config: &VoteConfig) -> f64 {
+fn copy_probability(
+    result: Option<&DetectionResult>,
+    pair: SourcePair,
+    config: &VoteConfig,
+) -> f64 {
     let Some(result) = result else { return 0.0 };
     match result.outcomes.get(&pair) {
-        Some(outcome) if outcome.decision.is_copying() => outcome
-            .posterior
-            .map(|p| 1.0 - p)
-            .unwrap_or(config.default_copy_probability),
+        Some(outcome) if outcome.decision.is_copying() => {
+            outcome.posterior.map(|p| 1.0 - p).unwrap_or(config.default_copy_probability)
+        }
         _ => 0.0,
     }
 }
@@ -73,10 +76,7 @@ pub fn value_probabilities(
         for group in groups {
             let mut providers: Vec<SourceId> = group.providers.clone();
             providers.sort_by(|&a, &b| {
-                accuracies
-                    .get(b)
-                    .partial_cmp(&accuracies.get(a))
-                    .expect("accuracies are never NaN")
+                accuracies.get(b).partial_cmp(&accuracies.get(a)).expect("accuracies are never NaN")
             });
             let mut vote = 0.0;
             for (idx, &s) in providers.iter().enumerate() {
@@ -93,8 +93,8 @@ pub fn value_probabilities(
         // (n + 1 − k) candidate values have weight e^0 = 1.
         let unseen = (n_plus_one - groups.len() as f64).max(0.0);
         let max_vote = votes.iter().copied().fold(0.0f64, f64::max);
-        let denom: f64 = votes.iter().map(|v| (v - max_vote).exp()).sum::<f64>()
-            + unseen * (-max_vote).exp();
+        let denom: f64 =
+            votes.iter().map(|v| (v - max_vote).exp()).sum::<f64>() + unseen * (-max_vote).exp();
         for (group, vote) in groups.iter().zip(&votes) {
             let p = ((vote - max_vote).exp() / denom).clamp(1e-9, 1.0 - 1e-9);
             probabilities
@@ -147,12 +147,7 @@ mod tests {
         assert!(probs.get(nj, trenton) > 0.9);
         assert!(probs.get(nj, atlantic) < 0.1);
         // Probabilities of an item's values never exceed 1 in total.
-        let total: f64 = ex
-            .dataset
-            .values_of_item(nj)
-            .iter()
-            .map(|g| probs.get(nj, g.value))
-            .sum();
+        let total: f64 = ex.dataset.values_of_item(nj).iter().map(|g| probs.get(nj, g.value)).sum();
         assert!(total <= 1.0 + 1e-9);
     }
 

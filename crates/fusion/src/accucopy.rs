@@ -154,7 +154,8 @@ impl<D: CopyDetector> AccuCopy<D> {
             // (1) Copy detection with the current estimates.
             let detection = if self.config.consider_copying {
                 let start = Instant::now();
-                let input = RoundInput::new(dataset, &accuracies, &probabilities, self.config.params);
+                let input =
+                    RoundInput::new(dataset, &accuracies, &probabilities, self.config.params);
                 let result = self.detector.detect_round(&input, round);
                 timings.copy_detection = start.elapsed();
                 Some(result)
@@ -208,7 +209,9 @@ impl<D: CopyDetector> AccuCopy<D> {
                 .values_of_item(item)
                 .iter()
                 .map(|g| (g.value, probabilities.get(item, g.value)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("probabilities are never NaN").then(b.0.cmp(&a.0)));
+                .max_by(|a, b| {
+                    a.1.partial_cmp(&b.1).expect("probabilities are never NaN").then(b.0.cmp(&a.0))
+                });
             if let Some((value, _)) = best {
                 truths.insert(item, value);
             }
@@ -228,7 +231,10 @@ impl<D: CopyDetector> AccuCopy<D> {
 
 /// Accuracy-weighted fusion *without* copy detection (the ACCU baseline):
 /// the same iterative loop with the detection step disabled.
-pub fn accu_fusion(dataset: &Dataset, mut config: FusionConfig) -> Result<FusionOutcome, FusionError> {
+pub fn accu_fusion(
+    dataset: &Dataset,
+    mut config: FusionConfig,
+) -> Result<FusionOutcome, FusionError> {
     config.consider_copying = false;
     let mut process = AccuCopy::new(config, copydet_detect::PairwiseDetector::new());
     process.run(dataset)
@@ -237,9 +243,7 @@ pub fn accu_fusion(dataset: &Dataset, mut config: FusionConfig) -> Result<Fusion
 #[cfg(test)]
 mod tests {
     use super::*;
-    use copydet_detect::{
-        HybridDetector, IncrementalDetector, IndexDetector, PairwiseDetector,
-    };
+    use copydet_detect::{HybridDetector, IncrementalDetector, IndexDetector, PairwiseDetector};
     use copydet_model::{motivating_example, SourceId};
 
     fn run_with<D: CopyDetector>(detector: D) -> FusionOutcome {
@@ -317,10 +321,7 @@ mod tests {
         assert_eq!(accu.total_detection_computations(), 0);
         let accucopy = run_with(PairwiseDetector::new());
         let correct = |o: &FusionOutcome| {
-            ex.true_values
-                .iter()
-                .filter(|(item, value)| o.truth(**item) == Some(**value))
-                .count()
+            ex.true_values.iter().filter(|(item, value)| o.truth(**item) == Some(**value)).count()
         };
         assert!(correct(&accu) <= correct(&accucopy));
         assert_eq!(correct(&accucopy), 5);

@@ -35,7 +35,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = FusionError::InvalidConfig { field: "initial_accuracy", message: "must be in (0,1)".into() };
+        let e = FusionError::InvalidConfig {
+            field: "initial_accuracy",
+            message: "must be in (0,1)".into(),
+        };
         assert!(e.to_string().contains("initial_accuracy"));
         assert!(FusionError::EmptyDataset.to_string().contains("empty"));
     }

@@ -8,7 +8,8 @@ use crate::shared_items::SharedItemCounts;
 use crate::stats::IndexStats;
 use copydet_bayes::max_contribution::max_contribution;
 use copydet_bayes::{CopyParams, SourceAccuracies, ValueProbabilities};
-use copydet_model::{Dataset, SourcePair};
+use copydet_model::{Dataset, DatasetDelta, ItemId, ItemValueGroup, SourceId, SourcePair};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The inverted index over shared values (Definition 3.2), stored in
 /// decreasing contribution-score order, together with the per-pair
@@ -33,9 +34,30 @@ impl InvertedIndex {
         probabilities: &ValueProbabilities,
         params: &CopyParams,
     ) -> Self {
+        let shared = SharedItemCounts::build(dataset);
+        Self::build_from_groups(dataset.groups(), shared, accuracies, probabilities, params)
+    }
+
+    /// Builds the index from an explicit stream of `(item, value)` groups and
+    /// pre-computed shared-item counts.
+    ///
+    /// This is the construction path for segmented claim stores
+    /// (`copydet-store`): the store merges its sealed segments into value
+    /// groups and maintains the shared-item counts incrementally at ingest
+    /// time, so index construction skips the `O(Σ providers²)` counting pass
+    /// that dominates [`InvertedIndex::build`] on provider-dense datasets.
+    /// Groups with fewer than two providers are skipped, exactly as in
+    /// `build`.
+    pub fn build_from_groups<'a>(
+        groups: impl IntoIterator<Item = &'a ItemValueGroup>,
+        shared: SharedItemCounts,
+        accuracies: &SourceAccuracies,
+        probabilities: &ValueProbabilities,
+        params: &CopyParams,
+    ) -> Self {
         let mut entries = Vec::new();
         let mut provider_accs: Vec<f64> = Vec::new();
-        for group in dataset.groups() {
+        for group in groups {
             if group.support() < 2 {
                 continue;
             }
@@ -51,19 +73,108 @@ impl InvertedIndex {
                 providers: group.providers.clone(),
             });
         }
-        // Decreasing score; ties broken by (item, value) for determinism.
-        entries.sort_unstable_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("contribution scores are never NaN")
-                .then(a.item.cmp(&b.item))
-                .then(a.value.cmp(&b.value))
-        });
+        sort_entries(&mut entries);
         let theta_ind = params.thresholds().theta_ind;
         let scores: Vec<f64> = entries.iter().map(|e| e.score).collect();
         let ebar_start = ebar_start(&scores, theta_ind);
-        let shared = SharedItemCounts::build(dataset);
         Self { entries, ebar_start, shared, theta_ind }
+    }
+
+    /// Applies a claim delta to a live index: the entries of every touched
+    /// item are rebuilt against the grown `dataset` — refreshing provider
+    /// membership — scored with the caller-chosen accuracy/probability state
+    /// (incremental detection passes its *old-state* snapshot, so that the
+    /// probability movement of touched items later registers as an ordinary
+    /// entry-score delta); the shared-item counts are updated for the added
+    /// claims, and the `Ē` boundary is recomputed.
+    ///
+    /// `aligned_scores` is a caller-owned array parallel to
+    /// [`InvertedIndex::entries`] (incremental detection keeps the previous
+    /// round's entry scores there); it is permuted alongside the entries, and
+    /// the slots of rebuilt entries are set to the freshly computed score so
+    /// rebuilt entries never register as a *score* change — their pairs are
+    /// re-examined through the returned index list instead.
+    ///
+    /// Returns the positions (into the updated `entries()`) of every rebuilt
+    /// entry, i.e. every entry whose item the delta touched.
+    ///
+    /// # Panics
+    /// Panics if `aligned_scores` is not entry-aligned.
+    pub fn apply_claim_delta(
+        &mut self,
+        dataset: &Dataset,
+        accuracies: &SourceAccuracies,
+        probabilities: &ValueProbabilities,
+        params: &CopyParams,
+        delta: &DatasetDelta,
+        aligned_scores: &mut Vec<f64>,
+    ) -> Vec<usize> {
+        assert_eq!(
+            aligned_scores.len(),
+            self.entries.len(),
+            "aligned_scores must parallel the index entries"
+        );
+        // Keep untouched entries (with their aligned scores); rebuild the
+        // rest from the grown dataset.
+        let mut kept: Vec<(IndexEntry, f64)> = std::mem::take(&mut self.entries)
+            .into_iter()
+            .zip(aligned_scores.drain(..))
+            .filter(|(e, _)| !delta.touches_item(e.item))
+            .collect();
+        let mut provider_accs: Vec<f64> = Vec::new();
+        for &d in delta.touched_items() {
+            for group in dataset.values_of_item(d) {
+                if group.support() < 2 {
+                    continue;
+                }
+                provider_accs.clear();
+                provider_accs.extend(group.providers.iter().map(|&s| accuracies.get(s)));
+                let p = probabilities.get(group.item, group.value);
+                let score = max_contribution(p, &provider_accs, params);
+                let entry = IndexEntry {
+                    item: group.item,
+                    value: group.value,
+                    probability: p,
+                    score,
+                    providers: group.providers.clone(),
+                };
+                kept.push((entry, score));
+            }
+        }
+        kept.sort_unstable_by(|(a, _), (b, _)| entry_order(a, b));
+        let mut rebuilt = Vec::new();
+        self.entries = Vec::with_capacity(kept.len());
+        aligned_scores.reserve(kept.len());
+        for (idx, (entry, aligned)) in kept.into_iter().enumerate() {
+            if delta.touches_item(entry.item) {
+                rebuilt.push(idx);
+            }
+            self.entries.push(entry);
+            aligned_scores.push(aligned);
+        }
+        let scores: Vec<f64> = self.entries.iter().map(|e| e.score).collect();
+        self.ebar_start = ebar_start(&scores, self.theta_ind);
+
+        // Shared-item counts: every *added* claim (source, item) shares its
+        // item with every other provider of that item in the grown dataset.
+        self.shared.grow(dataset.num_sources());
+        let mut added_by_item: BTreeMap<ItemId, BTreeSet<SourceId>> = BTreeMap::new();
+        for change in delta.additions() {
+            added_by_item.entry(change.item).or_default().insert(change.source);
+        }
+        for (&d, added) in &added_by_item {
+            for group in dataset.values_of_item(d) {
+                for &t in &group.providers {
+                    for &s in added {
+                        if t == s || (added.contains(&t) && t < s) {
+                            continue;
+                        }
+                        self.shared.increment(SourcePair::new(s, t), 1);
+                    }
+                }
+            }
+        }
+        rebuilt
     }
 
     /// The index entries in decreasing contribution-score order.
@@ -132,10 +243,25 @@ impl InvertedIndex {
     }
 }
 
+/// The index storage order: decreasing score, ties broken by `(item, value)`
+/// for determinism. Every (re)sort of the entries must use this single
+/// comparator — the store/batch bit-identity guarantees depend on it.
+fn entry_order(a: &IndexEntry, b: &IndexEntry) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .expect("contribution scores are never NaN")
+        .then(a.item.cmp(&b.item))
+        .then(a.value.cmp(&b.value))
+}
+
+fn sort_entries(entries: &mut [IndexEntry]) {
+    entries.sort_unstable_by(entry_order);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use copydet_model::{motivating_example, SourceId};
+    use copydet_model::motivating_example;
 
     fn build_motivating() -> (copydet_model::MotivatingExample, InvertedIndex) {
         let ex = motivating_example();
@@ -204,7 +330,13 @@ mod tests {
         let trenton = find("NJ", "Trenton");
         assert_eq!(
             trenton.providers,
-            vec![SourceId::new(0), SourceId::new(1), SourceId::new(7), SourceId::new(8), SourceId::new(9)]
+            vec![
+                SourceId::new(0),
+                SourceId::new(1),
+                SourceId::new(7),
+                SourceId::new(8),
+                SourceId::new(9)
+            ]
         );
         let dallas = find("TX", "Dallas");
         assert_eq!(dallas.providers, vec![SourceId::new(6), SourceId::new(7), SourceId::new(8)]);
@@ -227,10 +359,8 @@ mod tests {
         // All pairs occurring outside Ē are exactly those 26, so this is the
         // plain sum of C(k,2) over non-Ē entries plus the shared values those
         // same pairs have inside Ē.
-        let non_ebar_pairs: usize = index.entries()[..index.ebar_start()]
-            .iter()
-            .map(IndexEntry::num_pairs)
-            .sum();
+        let non_ebar_pairs: usize =
+            index.entries()[..index.ebar_start()].iter().map(IndexEntry::num_pairs).sum();
         // Pairs outside Ē
         let mut pairs = std::collections::HashSet::new();
         for e in &index.entries()[..index.ebar_start()] {
@@ -302,6 +432,120 @@ mod tests {
                 .fold(0.0f64, f64::max);
             assert!((suffix[i] - expected).abs() < 1e-12);
         }
+    }
+
+    /// `build_from_groups` with the dataset's own groups and counts is
+    /// exactly `build`.
+    #[test]
+    fn build_from_groups_matches_build() {
+        let ex = motivating_example();
+        let accuracies = SourceAccuracies::from_vec(ex.accuracies.clone()).unwrap();
+        let probabilities = ValueProbabilities::from_table(ex.probability_table()).unwrap();
+        let params = CopyParams::paper_defaults();
+        let direct = InvertedIndex::build(&ex.dataset, &accuracies, &probabilities, &params);
+        let from_groups = InvertedIndex::build_from_groups(
+            ex.dataset.groups(),
+            SharedItemCounts::build(&ex.dataset),
+            &accuracies,
+            &probabilities,
+            &params,
+        );
+        assert_eq!(direct.entries(), from_groups.entries());
+        assert_eq!(direct.ebar_start(), from_groups.ebar_start());
+        for (pair, n) in direct.shared_item_counts().iter_nonzero() {
+            assert_eq!(from_groups.shared_items(pair), n);
+        }
+    }
+
+    /// Applying a claim delta to a live index yields the same entries, `Ē`
+    /// boundary and shared counts as rebuilding from scratch on the grown
+    /// dataset (with the same accuracy/probability state).
+    #[test]
+    fn apply_claim_delta_matches_rebuild() {
+        use copydet_model::{DatasetBuilder, DatasetDelta};
+        let old_claims: Vec<(&str, &str, &str)> = vec![
+            ("S0", "NJ", "Trenton"),
+            ("S1", "NJ", "Trenton"),
+            ("S2", "NJ", "Newark"),
+            ("S0", "AZ", "Phoenix"),
+            ("S1", "AZ", "Phoenix"),
+            ("S2", "AZ", "Tempe"),
+            ("S0", "CA", "Sacramento"), // never touched by the delta
+            ("S1", "CA", "Sacramento"),
+        ];
+        let mut extra = old_claims.clone();
+        extra.extend([
+            ("S2", "NJ", "Trenton"), // changed value
+            ("S3", "AZ", "Phoenix"), // new source
+            ("S0", "NY", "Albany"),  // new item
+            ("S3", "NY", "Albany"),
+        ]);
+        let build_ds = |claims: &[(&str, &str, &str)]| {
+            let mut b = DatasetBuilder::new();
+            for (s, d, v) in claims {
+                b.add_claim(s, d, v);
+            }
+            b.build()
+        };
+        let old_ds = build_ds(&old_claims);
+        let new_ds = build_ds(&extra);
+        let delta = DatasetDelta::between(&old_ds, &new_ds);
+        let params = CopyParams::paper_defaults();
+        let accuracies = SourceAccuracies::uniform(new_ds.num_sources(), 0.8).unwrap();
+        let mut probabilities = ValueProbabilities::new(new_ds.num_items());
+        for (i, g) in new_ds.groups().enumerate() {
+            probabilities.set(g.item, g.value, 0.15 + 0.1 * (i % 8) as f64).unwrap();
+        }
+
+        let mut live = InvertedIndex::build(&old_ds, &accuracies, &probabilities, &params);
+        let mut aligned: Vec<f64> = live.entries().iter().map(|e| e.score).collect();
+        let rebuilt_idx = live.apply_claim_delta(
+            &new_ds,
+            &accuracies,
+            &probabilities,
+            &params,
+            &delta,
+            &mut aligned,
+        );
+        let scratch = InvertedIndex::build(&new_ds, &accuracies, &probabilities, &params);
+
+        assert_eq!(live.entries(), scratch.entries());
+        assert_eq!(live.ebar_start(), scratch.ebar_start());
+        assert_eq!(aligned.len(), live.len());
+        for (pair, n) in scratch.shared_item_counts().iter_nonzero() {
+            assert_eq!(live.shared_items(pair), n, "shared count for {pair}");
+        }
+        // Every rebuilt position is a touched item; every touched item's
+        // entry is reported as rebuilt.
+        for (idx, e) in live.entries().iter().enumerate() {
+            assert_eq!(rebuilt_idx.contains(&idx), delta.touches_item(e.item), "entry {idx}");
+        }
+        // Aligned scores of rebuilt entries equal the fresh scores; untouched
+        // entries keep theirs.
+        for &idx in &rebuilt_idx {
+            assert!((aligned[idx] - live.entries()[idx].score).abs() < 1e-12);
+        }
+    }
+
+    /// An empty delta leaves the index untouched.
+    #[test]
+    fn apply_empty_delta_is_noop() {
+        let (ex, mut index) = build_motivating();
+        let accuracies = SourceAccuracies::from_vec(ex.accuracies.clone()).unwrap();
+        let probabilities = ValueProbabilities::from_table(ex.probability_table()).unwrap();
+        let params = CopyParams::paper_defaults();
+        let before = index.entries().to_vec();
+        let mut aligned: Vec<f64> = before.iter().map(|e| e.score).collect();
+        let rebuilt = index.apply_claim_delta(
+            &ex.dataset,
+            &accuracies,
+            &probabilities,
+            &params,
+            &copydet_model::DatasetDelta::default(),
+            &mut aligned,
+        );
+        assert!(rebuilt.is_empty());
+        assert_eq!(index.entries(), before.as_slice());
     }
 
     /// An index built over an empty dataset is empty and harmless.

@@ -63,6 +63,54 @@ impl SharedItemCounts {
         Self { repr: counts, num_sources: n }
     }
 
+    /// Grows the table to cover `num_sources` sources (keeping all existing
+    /// counts). A no-op if the table already covers at least that many.
+    ///
+    /// The dense triangular layout (`slot(i, j) = j·(j−1)/2 + i`) is
+    /// independent of the source count, so growing is a plain extension; a
+    /// grown dense table that crosses the density limit switches to the
+    /// sparse map.
+    pub fn grow(&mut self, num_sources: usize) {
+        if num_sources <= self.num_sources {
+            return;
+        }
+        self.num_sources = num_sources;
+        match &mut self.repr {
+            Repr::Dense(m) if num_sources <= DENSE_LIMIT => {
+                m.resize(num_sources * (num_sources - 1) / 2, 0);
+            }
+            Repr::Dense(m) => {
+                let mut sparse = HashMap::new();
+                for (slot, &c) in m.iter().enumerate() {
+                    if c > 0 {
+                        sparse.insert(dense_unslot(slot), c);
+                    }
+                }
+                self.repr = Repr::Sparse(sparse);
+            }
+            Repr::Sparse(_) => {}
+        }
+    }
+
+    /// Adds `by` to the count of `pair`.
+    ///
+    /// This is the maintenance hook for append-oriented stores: when a new
+    /// claim for item `d` arrives from source `s`, the count of `(s, t)` is
+    /// incremented for every other provider `t` of `d` — keeping the table
+    /// consistent with a from-scratch [`SharedItemCounts::build`] over the
+    /// grown dataset without rescanning unchanged items.
+    ///
+    /// # Panics
+    /// Panics (in the dense representation) if the pair's sources are outside
+    /// the covered range; call [`SharedItemCounts::grow`] first.
+    #[inline]
+    pub fn increment(&mut self, pair: SourcePair, by: u32) {
+        match &mut self.repr {
+            Repr::Dense(m) => m[dense_slot(pair)] += by,
+            Repr::Sparse(m) => *m.entry(pair).or_insert(0) += by,
+        }
+    }
+
     /// Number of items shared by the pair (`l(S1, S2)`), zero if they share
     /// nothing.
     #[inline]
@@ -89,9 +137,12 @@ impl SharedItemCounts {
     /// Iterates over every pair with a non-zero count.
     pub fn iter_nonzero(&self) -> Box<dyn Iterator<Item = (SourcePair, u32)> + '_> {
         match &self.repr {
-            Repr::Dense(m) => Box::new(m.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(slot, &c)| {
-                (dense_unslot(slot), c)
-            })),
+            Repr::Dense(m) => Box::new(
+                m.iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(slot, &c)| (dense_unslot(slot), c)),
+            ),
             Repr::Sparse(m) => Box::new(m.iter().map(|(&p, &c)| (p, c))),
         }
     }
@@ -185,6 +236,44 @@ mod tests {
         assert_eq!(counts.get(SourcePair::new(a, b_)), 0);
         assert_eq!(counts.get(SourcePair::new(a, c)), 1);
         assert_eq!(counts.num_sharing_pairs(), 1);
+        assert_eq!(counts.num_sources(), 3);
+    }
+
+    #[test]
+    fn grow_and_increment_match_rebuild() {
+        // Build counts over two sources, then append a third source's claims
+        // and maintain the counts incrementally.
+        let mut b = DatasetBuilder::new();
+        b.add_claim("A", "D0", "x");
+        b.add_claim("A", "D1", "y");
+        b.add_claim("B", "D0", "x");
+        let ds_old = b.build();
+        let mut counts = SharedItemCounts::build(&ds_old);
+
+        let mut b = DatasetBuilder::new();
+        b.add_claim("A", "D0", "x");
+        b.add_claim("A", "D1", "y");
+        b.add_claim("B", "D0", "x");
+        b.add_claim("C", "D0", "z");
+        b.add_claim("C", "D1", "y");
+        let ds_new = b.build();
+
+        counts.grow(ds_new.num_sources());
+        let c = ds_new.source_by_name("C").unwrap();
+        for d in ds_new.items() {
+            for group in ds_new.values_of_item(d) {
+                for &p in &group.providers {
+                    if p != c && ds_new.value_of(c, d).is_some() {
+                        counts.increment(SourcePair::new(c, p), 1);
+                    }
+                }
+            }
+        }
+        let rebuilt = SharedItemCounts::build(&ds_new);
+        for (pair, n) in rebuilt.iter_nonzero() {
+            assert_eq!(counts.get(pair), n, "pair {pair}");
+        }
+        assert_eq!(counts.num_sharing_pairs(), rebuilt.num_sharing_pairs());
         assert_eq!(counts.num_sources(), 3);
     }
 

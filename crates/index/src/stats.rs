@@ -80,8 +80,12 @@ mod tests {
         let ex = motivating_example();
         let accuracies = SourceAccuracies::from_vec(ex.accuracies.clone()).unwrap();
         let probabilities = ValueProbabilities::from_table(ex.probability_table()).unwrap();
-        let index =
-            InvertedIndex::build(&ex.dataset, &accuracies, &probabilities, &CopyParams::paper_defaults());
+        let index = InvertedIndex::build(
+            &ex.dataset,
+            &accuracies,
+            &probabilities,
+            &CopyParams::paper_defaults(),
+        );
         let stats = index.stats();
         assert_eq!(stats.num_entries, 13);
         assert_eq!(stats.num_ebar_entries, 2);

@@ -1,8 +1,9 @@
 //! Incremental construction of [`Dataset`]s from string claims.
 
-use crate::dataset::{Dataset, ItemValueGroup};
+use crate::dataset::Dataset;
 use crate::ids::{ItemId, SourceId, ValueId};
 use crate::interner::Interner;
+use crate::names::NameTable;
 use std::collections::HashMap;
 
 /// Builds a [`Dataset`] from `(source, item, value)` claims given as strings.
@@ -16,10 +17,8 @@ use std::collections::HashMap;
 ///   *missing* value is expressed by simply not adding a claim.
 #[derive(Debug, Default)]
 pub struct DatasetBuilder {
-    source_names: Vec<String>,
-    source_lookup: HashMap<String, SourceId>,
-    item_names: Vec<String>,
-    item_lookup: HashMap<String, ItemId>,
+    sources: NameTable,
+    items: NameTable,
     values: Interner,
     /// claim map per source: item -> value
     claims: Vec<HashMap<ItemId, ValueId>>,
@@ -34,25 +33,16 @@ impl DatasetBuilder {
 
     /// Interns (or retrieves) a source by name.
     pub fn source(&mut self, name: &str) -> SourceId {
-        if let Some(&id) = self.source_lookup.get(name) {
-            return id;
+        let idx = self.sources.intern(name);
+        if idx == self.claims.len() {
+            self.claims.push(HashMap::new());
         }
-        let id = SourceId::from_index(self.source_names.len());
-        self.source_names.push(name.to_owned());
-        self.source_lookup.insert(name.to_owned(), id);
-        self.claims.push(HashMap::new());
-        id
+        SourceId::from_index(idx)
     }
 
     /// Interns (or retrieves) a data item by name.
     pub fn item(&mut self, name: &str) -> ItemId {
-        if let Some(&id) = self.item_lookup.get(name) {
-            return id;
-        }
-        let id = ItemId::from_index(self.item_names.len());
-        self.item_names.push(name.to_owned());
-        self.item_lookup.insert(name.to_owned(), id);
-        id
+        ItemId::from_index(self.items.intern(name))
     }
 
     /// Interns (or retrieves) a value string.
@@ -62,7 +52,12 @@ impl DatasetBuilder {
 
     /// Adds the claim "source provides `value` for `item`", interning all
     /// three strings. Returns the claim as dense ids.
-    pub fn add_claim(&mut self, source: &str, item: &str, value: &str) -> (SourceId, ItemId, ValueId) {
+    pub fn add_claim(
+        &mut self,
+        source: &str,
+        item: &str,
+        value: &str,
+    ) -> (SourceId, ItemId, ValueId) {
         let s = self.source(source);
         let d = self.item(item);
         let v = self.value(value);
@@ -75,8 +70,8 @@ impl DatasetBuilder {
     /// # Panics
     /// Panics if any id was not produced by this builder.
     pub fn add_claim_ids(&mut self, source: SourceId, item: ItemId, value: ValueId) {
-        assert!(source.index() < self.source_names.len(), "unknown source id {source}");
-        assert!(item.index() < self.item_names.len(), "unknown item id {item}");
+        assert!(source.index() < self.sources.len(), "unknown source id {source}");
+        assert!(item.index() < self.items.len(), "unknown item id {item}");
         assert!(value.index() < self.values.len(), "unknown value id {value}");
         if self.claims[source.index()].insert(item, value).is_some() {
             self.overwritten += 1;
@@ -91,12 +86,12 @@ impl DatasetBuilder {
 
     /// Number of sources registered so far.
     pub fn num_sources(&self) -> usize {
-        self.source_names.len()
+        self.sources.len()
     }
 
     /// Number of items registered so far.
     pub fn num_items(&self) -> usize {
-        self.item_names.len()
+        self.items.len()
     }
 
     /// Number of claims registered so far.
@@ -106,7 +101,6 @@ impl DatasetBuilder {
 
     /// Finalizes the builder into an immutable [`Dataset`].
     pub fn build(self) -> Dataset {
-        let num_items = self.item_names.len();
         // Per-source sorted claim lists.
         let mut claims: Vec<Vec<(ItemId, ValueId)>> = Vec::with_capacity(self.claims.len());
         for map in &self.claims {
@@ -114,39 +108,12 @@ impl DatasetBuilder {
             list.sort_unstable_by_key(|&(d, _)| d);
             claims.push(list);
         }
-        // Per-item value groups.
-        let mut per_item: Vec<HashMap<ValueId, Vec<SourceId>>> = vec![HashMap::new(); num_items];
-        for (s, list) in claims.iter().enumerate() {
-            let s = SourceId::from_index(s);
-            for &(d, v) in list {
-                per_item[d.index()].entry(v).or_default().push(s);
-            }
-        }
-        let item_groups: Vec<Vec<ItemValueGroup>> = per_item
-            .into_iter()
-            .enumerate()
-            .map(|(d, map)| {
-                let item = ItemId::from_index(d);
-                let mut groups: Vec<ItemValueGroup> = map
-                    .into_iter()
-                    .map(|(value, mut providers)| {
-                        providers.sort_unstable();
-                        ItemValueGroup { item, value, providers }
-                    })
-                    .collect();
-                groups.sort_unstable_by_key(|g| g.value);
-                groups
-            })
-            .collect();
-        let num_claims = claims.iter().map(Vec::len).sum();
-        Dataset {
-            source_names: self.source_names,
-            item_names: self.item_names,
-            values: self.values,
+        Dataset::from_sorted_claims(
+            self.sources.into_names(),
+            self.items.into_names(),
+            self.values,
             claims,
-            item_groups,
-            num_claims,
-        }
+        )
     }
 }
 

@@ -45,7 +45,7 @@ impl ItemValueGroup {
 /// inverted index ("the presence of a source in an index entry guarantees its
 /// absence in all entries that correspond to other values for the same data
 /// item").
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     pub(crate) source_names: Vec<String>,
     pub(crate) item_names: Vec<String>,
@@ -59,6 +59,41 @@ pub struct Dataset {
 }
 
 impl Dataset {
+    /// Assembles a snapshot directly from id-space claim lists, bypassing
+    /// string interning.
+    ///
+    /// This is the construction hook used by segmented claim stores
+    /// (`copydet-store`): the caller owns the name tables and the merged
+    /// per-source claim lists; the per-item value groups are derived here
+    /// with exactly the same normalization as [`DatasetBuilder::build`], so a
+    /// snapshot assembled this way is indistinguishable from one built by a
+    /// single builder pass over the same claims.
+    ///
+    /// # Panics
+    /// Panics if a claim list is not strictly sorted by item, or if any id is
+    /// out of range for the provided name tables.
+    pub fn from_sorted_claims(
+        source_names: Vec<String>,
+        item_names: Vec<String>,
+        values: Interner,
+        claims: Vec<Vec<(ItemId, ValueId)>>,
+    ) -> Dataset {
+        assert_eq!(claims.len(), source_names.len(), "one claim list per source");
+        for list in &claims {
+            assert!(
+                list.windows(2).all(|w| w[0].0 < w[1].0),
+                "claim lists must be strictly sorted by item"
+            );
+            for &(d, v) in list {
+                assert!(d.index() < item_names.len(), "unknown item id {d}");
+                assert!(v.index() < values.len(), "unknown value id {v}");
+            }
+        }
+        let item_groups = group_claims(&claims, item_names.len());
+        let num_claims = claims.iter().map(Vec::len).sum();
+        Dataset { source_names, item_names, values, claims, item_groups, num_claims }
+    }
+
     /// Number of sources.
     pub fn num_sources(&self) -> usize {
         self.source_names.len()
@@ -106,18 +141,12 @@ impl Dataset {
 
     /// Looks up a source by name.
     pub fn source_by_name(&self, name: &str) -> Option<SourceId> {
-        self.source_names
-            .iter()
-            .position(|n| n == name)
-            .map(SourceId::from_index)
+        self.source_names.iter().position(|n| n == name).map(SourceId::from_index)
     }
 
     /// Looks up an item by name.
     pub fn item_by_name(&self, name: &str) -> Option<ItemId> {
-        self.item_names
-            .iter()
-            .position(|n| n == name)
-            .map(ItemId::from_index)
+        self.item_names.iter().position(|n| n == name).map(ItemId::from_index)
     }
 
     /// Looks up a value id by string.
@@ -138,10 +167,7 @@ impl Dataset {
     /// The value that source `s` provides for item `d`, if any.
     pub fn value_of(&self, s: SourceId, d: ItemId) -> Option<ValueId> {
         let claims = &self.claims[s.index()];
-        claims
-            .binary_search_by_key(&d, |&(item, _)| item)
-            .ok()
-            .map(|i| claims[i].1)
+        claims.binary_search_by_key(&d, |&(item, _)| item).ok().map(|i| claims[i].1)
     }
 
     /// Returns `true` if both sources provide *some* value for item `d`.
@@ -255,18 +281,18 @@ impl Dataset {
             .iter()
             .map(|list| list.iter().copied().filter(|(d, _)| keep.contains(d)).collect())
             .collect();
-        let item_groups: Vec<Vec<ItemValueGroup>> = self
-            .item_groups
-            .iter()
-            .enumerate()
-            .map(|(d, groups)| {
-                if keep.contains(&ItemId::from_index(d)) {
-                    groups.clone()
-                } else {
-                    Vec::new()
-                }
-            })
-            .collect();
+        let item_groups: Vec<Vec<ItemValueGroup>> =
+            self.item_groups
+                .iter()
+                .enumerate()
+                .map(|(d, groups)| {
+                    if keep.contains(&ItemId::from_index(d)) {
+                        groups.clone()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
         let num_claims = claims.iter().map(Vec::len).sum();
         Dataset {
             source_names: self.source_names.clone(),
@@ -277,6 +303,40 @@ impl Dataset {
             num_claims,
         }
     }
+}
+
+/// Derives the per-item value groups from per-source sorted claim lists —
+/// the normalization shared by [`DatasetBuilder::build`](crate::DatasetBuilder)
+/// and [`Dataset::from_sorted_claims`]: providers sorted by id within each
+/// group, groups sorted by value within each item.
+pub(crate) fn group_claims(
+    claims: &[Vec<(ItemId, ValueId)>],
+    num_items: usize,
+) -> Vec<Vec<ItemValueGroup>> {
+    let mut per_item: Vec<std::collections::HashMap<ValueId, Vec<SourceId>>> =
+        vec![std::collections::HashMap::new(); num_items];
+    for (s, list) in claims.iter().enumerate() {
+        let s = SourceId::from_index(s);
+        for &(d, v) in list {
+            per_item[d.index()].entry(v).or_default().push(s);
+        }
+    }
+    per_item
+        .into_iter()
+        .enumerate()
+        .map(|(d, map)| {
+            let item = ItemId::from_index(d);
+            let mut groups: Vec<ItemValueGroup> = map
+                .into_iter()
+                .map(|(value, mut providers)| {
+                    providers.sort_unstable();
+                    ItemValueGroup { item, value, providers }
+                })
+                .collect();
+            groups.sort_unstable_by_key(|g| g.value);
+            groups
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -367,9 +427,7 @@ mod tests {
         let ds = sample();
         assert_eq!(ds.claims_iter().count(), ds.num_claims());
         assert_eq!(ds.claim_refs().count(), ds.num_claims());
-        let any = ds
-            .claim_refs()
-            .any(|c| c.source == "S1" && c.item == "AZ" && c.value == "Tempe");
+        let any = ds.claim_refs().any(|c| c.source == "S1" && c.item == "AZ" && c.value == "Tempe");
         assert!(any);
     }
 
@@ -390,15 +448,37 @@ mod tests {
     }
 
     #[test]
+    fn from_sorted_claims_matches_builder() {
+        let ds = sample();
+        let claims: Vec<Vec<(ItemId, ValueId)>> =
+            ds.sources().map(|s| ds.claims_of(s).to_vec()).collect();
+        let assembled = Dataset::from_sorted_claims(
+            ds.source_names.clone(),
+            ds.item_names.clone(),
+            ds.values.clone(),
+            claims,
+        );
+        assert_eq!(assembled, ds, "assembled snapshot must equal the builder-built one");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn from_sorted_claims_rejects_unsorted_lists() {
+        let ds = sample();
+        let _ = Dataset::from_sorted_claims(
+            vec!["S".into()],
+            ds.item_names.clone(),
+            ds.values.clone(),
+            vec![vec![(ItemId::new(1), ValueId::new(0)), (ItemId::new(0), ValueId::new(0))]],
+        );
+    }
+
+    #[test]
     fn group_support() {
         let ds = sample();
         let nj = ds.item_by_name("NJ").unwrap();
         let trenton = ds.value_by_str("Trenton").unwrap();
-        let g = ds
-            .values_of_item(nj)
-            .iter()
-            .find(|g| g.value == trenton)
-            .unwrap();
+        let g = ds.values_of_item(nj).iter().find(|g| g.value == trenton).unwrap();
         assert_eq!(g.support(), 2);
     }
 }

@@ -56,15 +56,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = ModelError::Parse {
-            line: 3,
-            message: "expected 3 fields".into(),
-        };
+        let e = ModelError::Parse { line: 3, message: "expected 3 fields".into() };
         assert!(e.to_string().contains("line 3"));
         assert!(ModelError::EmptyDataset.to_string().contains("no claims"));
-        assert!(ModelError::UnknownEntity("source X".into())
-            .to_string()
-            .contains("source X"));
+        assert!(ModelError::UnknownEntity("source X".into()).to_string().contains("source X"));
     }
 
     #[test]

@@ -17,6 +17,15 @@ pub struct Interner {
     lookup: HashMap<String, ValueId>,
 }
 
+impl PartialEq for Interner {
+    /// Two interners are equal when they intern the same strings with the
+    /// same ids; the derived reverse-lookup table is ignored (it may be
+    /// empty right after deserialization).
+    fn eq(&self, other: &Self) -> bool {
+        self.strings == other.strings
+    }
+}
+
 impl Interner {
     /// Creates an empty interner.
     pub fn new() -> Self {
@@ -60,10 +69,7 @@ impl Interner {
 
     /// Iterates over `(id, string)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (ValueId, &str)> {
-        self.strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (ValueId::from_index(i), s.as_str()))
+        self.strings.iter().enumerate().map(|(i, s)| (ValueId::from_index(i), s.as_str()))
     }
 
     /// Rebuilds the reverse-lookup table. Needed after deserialization because
@@ -120,10 +126,7 @@ mod tests {
         let mut i = Interner::new();
         i.intern("a");
         i.intern("b");
-        let mut copy = Interner {
-            strings: i.strings.clone(),
-            lookup: HashMap::new(),
-        };
+        let mut copy = Interner { strings: i.strings.clone(), lookup: HashMap::new() };
         assert!(copy.get("a").is_none());
         copy.rebuild_lookup();
         assert_eq!(copy.get("a"), Some(ValueId::new(0)));

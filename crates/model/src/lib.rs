@@ -42,19 +42,23 @@
 
 mod builder;
 mod dataset;
+mod delta;
 mod error;
 mod ids;
 mod interner;
 mod motivating;
+mod names;
 mod observation;
 mod stats;
 pub mod tsv;
 
 pub use builder::DatasetBuilder;
 pub use dataset::{Dataset, ItemValueGroup};
+pub use delta::{ClaimChange, DatasetDelta};
 pub use error::ModelError;
 pub use ids::{ItemId, SourceId, SourcePair, ValueId};
 pub use interner::Interner;
 pub use motivating::{motivating_example, MotivatingExample};
+pub use names::NameTable;
 pub use observation::{Claim, ClaimRef};
 pub use stats::DatasetStats;

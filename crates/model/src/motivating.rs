@@ -57,13 +57,8 @@ const TABLE_I: &[(&str, f64, [&str; 5])] = &[
 ];
 
 const ITEMS: [&str; 5] = ["NJ", "AZ", "NY", "FL", "TX"];
-const TRUE_VALUES: [(&str, &str); 5] = [
-    ("NJ", "Trenton"),
-    ("AZ", "Phoenix"),
-    ("NY", "Albany"),
-    ("FL", "Orlando"),
-    ("TX", "Austin"),
-];
+const TRUE_VALUES: [(&str, &str); 5] =
+    [("NJ", "Trenton"), ("AZ", "Phoenix"), ("NY", "Albany"), ("FL", "Orlando"), ("TX", "Austin")];
 
 /// The value probabilities assumed when Table III is constructed (the paper
 /// lists them in its "Pr" column); values provided by a single source do not
@@ -132,10 +127,8 @@ pub fn motivating_example() -> MotivatingExample {
     for group in [group_a, group_b] {
         for i in 0..group.len() {
             for j in (i + 1)..group.len() {
-                copying_pairs.push(SourcePair::new(
-                    SourceId::new(group[i]),
-                    SourceId::new(group[j]),
-                ));
+                copying_pairs
+                    .push(SourcePair::new(SourceId::new(group[i]), SourceId::new(group[j])));
             }
         }
     }

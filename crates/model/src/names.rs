@@ -1,0 +1,90 @@
+//! A first-seen-order name table: strings to dense indices.
+
+use std::collections::HashMap;
+
+/// Maps names to dense indices in first-seen order.
+///
+/// This is the *single* implementation of the id-assignment policy that both
+/// [`DatasetBuilder`](crate::DatasetBuilder) and external claim stores
+/// (`copydet-store`) rely on: two tables fed the same name sequence assign
+/// identical indices, which is what makes a store snapshot bit-identical to
+/// a one-pass builder build. (Unlike [`Interner`](crate::Interner), which is
+/// specialized to [`ValueId`](crate::ValueId)s and serialization, this table
+/// deals in raw indices; callers wrap them in their typed id.)
+#[derive(Debug, Clone, Default)]
+pub struct NameTable {
+    names: Vec<String>,
+    lookup: HashMap<String, usize>,
+}
+
+impl NameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its dense index (existing index if seen
+    /// before, `self.len()` before the call otherwise).
+    pub fn intern(&mut self, name: &str) -> usize {
+        if let Some(&idx) = self.lookup.get(name) {
+            return idx;
+        }
+        let idx = self.names.len();
+        self.names.push(name.to_owned());
+        self.lookup.insert(name.to_owned(), idx);
+        idx
+    }
+
+    /// The index of `name`, if it has been interned.
+    pub fn get(&self, name: &str) -> Option<usize> {
+        self.lookup.get(name).copied()
+    }
+
+    /// The name at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` was not produced by this table.
+    pub fn name(&self, idx: usize) -> &str {
+        &self.names[idx]
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The names in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Consumes the table into its index-ordered name list.
+    pub fn into_names(self) -> Vec<String> {
+        self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_seen_dense_indices() {
+        let mut t = NameTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.intern("a"), 0);
+        assert_eq!(t.intern("b"), 1);
+        assert_eq!(t.intern("a"), 0, "re-interning is stable");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get("b"), Some(1));
+        assert_eq!(t.get("c"), None);
+        assert_eq!(t.name(0), "a");
+        assert_eq!(t.names(), &["a".to_owned(), "b".to_owned()]);
+        assert_eq!(t.into_names(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+}

@@ -108,7 +108,8 @@ mod tests {
 
     #[test]
     fn roundtrip_through_string() {
-        let original = parse_dataset("S0\tNJ\tTrenton\nS1\tNJ\tAtlantic\nS1\tAZ\tPhoenix\n").unwrap();
+        let original =
+            parse_dataset("S0\tNJ\tTrenton\nS1\tNJ\tAtlantic\nS1\tAZ\tPhoenix\n").unwrap();
         let text = dataset_to_string(&original);
         let reparsed = parse_dataset(&text).unwrap();
         assert_eq!(reparsed.num_sources(), original.num_sources());

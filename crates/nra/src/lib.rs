@@ -30,4 +30,4 @@ mod list;
 mod nra;
 
 pub use list::{ScoredEntry, SortedList};
-pub use nra::{NraOutcome, NraResult, NoRandomAccess};
+pub use nra::{NoRandomAccess, NraOutcome, NraResult};

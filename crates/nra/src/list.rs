@@ -20,10 +20,8 @@ impl<K: Copy + Eq + std::hash::Hash> SortedList<K> {
     /// Creates a list from arbitrary `(key, score)` pairs, sorting them by
     /// decreasing score.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (K, f64)>) -> Self {
-        let mut entries: Vec<ScoredEntry<K>> = pairs
-            .into_iter()
-            .map(|(key, score)| ScoredEntry { key, score })
-            .collect();
+        let mut entries: Vec<ScoredEntry<K>> =
+            pairs.into_iter().map(|(key, score)| ScoredEntry { key, score }).collect();
         entries.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are never NaN"));
         Self { entries }
     }
@@ -37,12 +35,7 @@ impl<K: Copy + Eq + std::hash::Hash> SortedList<K> {
             pairs.windows(2).all(|w| w[0].1 >= w[1].1),
             "input must be sorted by decreasing score"
         );
-        Self {
-            entries: pairs
-                .into_iter()
-                .map(|(key, score)| ScoredEntry { key, score })
-                .collect(),
-        }
+        Self { entries: pairs.into_iter().map(|(key, score)| ScoredEntry { key, score }).collect() }
     }
 
     /// Number of entries in the list.

@@ -63,7 +63,12 @@ impl<K: Copy + Eq + Hash + Ord> NoRandomAccess<K> {
     /// whose upper bound is the sum of all frontiers).
     pub fn top_k(&self, k: usize) -> NraOutcome<K> {
         if k == 0 {
-            return NraOutcome { top_k: Vec::new(), converged: true, depth_reached: 0, entries_read: 0 };
+            return NraOutcome {
+                top_k: Vec::new(),
+                converged: true,
+                depth_reached: 0,
+                entries_read: 0,
+            };
         }
         let m = self.lists.len();
         let max_depth = self.lists.iter().map(SortedList::len).max().unwrap_or(0);
@@ -76,9 +81,7 @@ impl<K: Copy + Eq + Hash + Ord> NoRandomAccess<K> {
             for (li, list) in self.lists.iter().enumerate() {
                 if let Some(entry) = list.at_depth(depth) {
                     entries_read += 1;
-                    let slot = seen
-                        .entry(entry.key)
-                        .or_insert_with(|| (0.0, vec![false; m]));
+                    let slot = seen.entry(entry.key).or_insert_with(|| (0.0, vec![false; m]));
                     slot.0 += entry.score;
                     slot.1[li] = true;
                 }
@@ -129,7 +132,12 @@ impl<K: Copy + Eq + Hash + Ord> NoRandomAccess<K> {
         upper
     }
 
-    fn stopping_condition_met(&self, k: usize, depth: usize, seen: &HashMap<K, (f64, Vec<bool>)>) -> bool {
+    fn stopping_condition_met(
+        &self,
+        k: usize,
+        depth: usize,
+        seen: &HashMap<K, (f64, Vec<bool>)>,
+    ) -> bool {
         if seen.len() < k {
             return false;
         }
@@ -157,7 +165,12 @@ impl<K: Copy + Eq + Hash + Ord> NoRandomAccess<K> {
         true
     }
 
-    fn current_top_k(&self, k: usize, depth: usize, seen: &HashMap<K, (f64, Vec<bool>)>) -> Vec<NraResult<K>> {
+    fn current_top_k(
+        &self,
+        k: usize,
+        depth: usize,
+        seen: &HashMap<K, (f64, Vec<bool>)>,
+    ) -> Vec<NraResult<K>> {
         let frontiers = self.frontiers(depth);
         let mut results: Vec<NraResult<K>> = seen
             .iter()

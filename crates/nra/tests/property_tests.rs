@@ -6,10 +6,7 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn lists_strategy() -> impl Strategy<Value = Vec<Vec<(u16, f64)>>> {
-    prop::collection::vec(
-        prop::collection::vec((0u16..40, 0.0f64..10.0), 0..30),
-        1..6,
-    )
+    prop::collection::vec(prop::collection::vec((0u16..40, 0.0f64..10.0), 0..30), 1..6)
 }
 
 /// Deduplicate keys within one list (an object appears at most once per

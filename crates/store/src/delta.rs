@@ -1,0 +1,69 @@
+//! Tracking of claims added/changed between consecutive snapshots.
+
+use copydet_model::{ClaimChange, DatasetDelta, ItemId, SourceId, ValueId};
+use std::collections::HashMap;
+
+/// Records, for every `(source, item)` written since the last snapshot, the
+/// value that claim had *in* the last snapshot (`None` if it did not exist).
+///
+/// The baseline is captured at the first write after a snapshot — at that
+/// moment the store's merged value for the claim still is the snapshot
+/// value — so the delta emitted at the next snapshot compares
+/// snapshot-to-snapshot regardless of how many times a claim was rewritten
+/// in between (and a value written back to its snapshot state drops out as a
+/// no-op).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct DeltaTracker {
+    baseline: HashMap<(SourceId, ItemId), Option<ValueId>>,
+}
+
+impl DeltaTracker {
+    /// Notes a write; `snapshot_value` is the merged value *before* the
+    /// write. Only the first write per `(source, item)` records a baseline.
+    pub fn note(&mut self, source: SourceId, item: ItemId, snapshot_value: Option<ValueId>) {
+        self.baseline.entry((source, item)).or_insert(snapshot_value);
+    }
+
+    /// Number of `(source, item)` slots written since the last snapshot.
+    pub fn len(&self) -> usize {
+        self.baseline.len()
+    }
+
+    /// Drains the tracker into a [`DatasetDelta`], resolving every touched
+    /// claim's current value through `current`.
+    pub fn drain_into_delta(
+        &mut self,
+        mut current: impl FnMut(SourceId, ItemId) -> Option<ValueId>,
+    ) -> DatasetDelta {
+        let changes = self.baseline.drain().map(|((source, item), old)| {
+            let new = current(source, item).expect("a tracked claim must exist in the merged view");
+            ClaimChange { source, item, old, new }
+        });
+        DatasetDelta::from_changes(changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_write_captures_baseline_and_roundtrips_drop_out() {
+        let s = SourceId::new(0);
+        let d0 = ItemId::new(0);
+        let d1 = ItemId::new(1);
+        let (v0, v1) = (ValueId::new(0), ValueId::new(1));
+        let mut t = DeltaTracker::default();
+        t.note(s, d0, Some(v0)); // snapshot value v0
+        t.note(s, d0, Some(v1)); // later rewrite must not move the baseline
+        t.note(s, d1, None); // brand-new claim
+        assert_eq!(t.len(), 2);
+
+        // Current merged view: d0 back at its snapshot value, d1 at v1.
+        let delta = t.drain_into_delta(|_, d| if d == d0 { Some(v0) } else { Some(v1) });
+        assert_eq!(t.len(), 0, "drained");
+        assert_eq!(delta.len(), 1, "the d0 roundtrip is a no-op");
+        assert_eq!(delta.changes()[0].item, d1);
+        assert!(delta.changes()[0].is_addition());
+    }
+}

@@ -1,0 +1,80 @@
+//! # copydet-store
+//!
+//! A segmented live claim store with incremental index maintenance — the
+//! subsystem that turns the batch reproduction of *Scaling up Copy
+//! Detection* (Li et al., ICDE 2015) into an online engine for continuously
+//! arriving claims.
+//!
+//! The paper's machinery assumes an immutable [`Dataset`] snapshot: the
+//! inverted index is built once per round and the detectors scan it from
+//! scratch. Production sources do not hold still — feeds update prices,
+//! aggregators add listings, new sources appear. This crate closes the gap
+//! with a design borrowed from search-engine segment stores:
+//!
+//! * **[`ClaimStore`]** — append-oriented ingest with last-claim-wins
+//!   semantics. Writes land in an in-memory **growing segment**
+//!   ([`GrowingSegment`]); [`seal`](ClaimStore::seal) freezes it into an
+//!   immutable, densely-sorted **sealed segment** ([`SealedSegment`]);
+//!   [`compact`](ClaimStore::compact) coalesces sealed segments newest-wins.
+//! * **[`snapshot`](ClaimStore::snapshot)** — assembles a [`Dataset`]
+//!   *identical* to one `DatasetBuilder` pass over the same claim sequence
+//!   (ids in first-seen ingest order), so every existing detector, index
+//!   builder and fusion loop runs on it unchanged. From the second snapshot
+//!   on it also carries the
+//!   [`DatasetDelta`](copydet_model::DatasetDelta) against the previous
+//!   snapshot.
+//! * **Incremental index maintenance** — the store maintains the pairwise
+//!   shared-item counts `l(S1, S2)` at ingest time, so
+//!   [`build_index`](ClaimStore::build_index) skips the counting pass of a
+//!   cold build; and the snapshot delta drives
+//!   [`InvertedIndex::apply_claim_delta`](copydet_index::InvertedIndex::apply_claim_delta)
+//!   plus the delta path of
+//!   [`IncrementalDetector`](copydet_detect::IncrementalDetector), which
+//!   re-decides only the pairs the new claims can have affected.
+//! * **[`LiveDetector`]** — the batteries-included pipeline: feed it
+//!   snapshots, get per-pair copy decisions, with only the first snapshot
+//!   detected from scratch.
+//!
+//! See `DESIGN.md` §5 for the segment lifecycle and the delta-propagation
+//! invariants.
+//!
+//! ```
+//! use copydet_store::{ClaimStore, LiveDetector};
+//!
+//! let mut store = ClaimStore::new();
+//! let mut live = LiveDetector::new();
+//! for (s, d, v) in [
+//!     ("alice", "NJ", "Trenton"),
+//!     ("bob", "NJ", "Trenton"),
+//!     ("carol", "NJ", "Newark"),
+//! ] {
+//!     store.ingest(s, d, v);
+//! }
+//! let result = live.observe(&store.snapshot());
+//! assert_eq!(result.algorithm, "INCREMENTAL");
+//!
+//! // New claims arrive; only affected pairs are re-decided.
+//! store.ingest("dave", "NJ", "Trenton");
+//! let result = live.observe(&store.snapshot());
+//! assert!(result.pairs_considered > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delta;
+mod live;
+mod segment;
+mod snapshot;
+mod stats;
+mod store;
+
+pub use live::{LiveConfig, LiveDetector};
+pub use segment::{GrowingSegment, SealedSegment};
+pub use snapshot::StoreSnapshot;
+pub use stats::StoreStats;
+pub use store::{ClaimStore, StoreConfig};
+
+// Re-exported so store users can name the dataset/delta types without a
+// direct copydet-model dependency.
+pub use copydet_model::{Dataset, DatasetDelta};

@@ -1,0 +1,234 @@
+//! The live detection pipeline: store snapshots in, copy decisions out.
+
+use crate::snapshot::StoreSnapshot;
+use copydet_bayes::{CopyParams, SourceAccuracies, ValueProbabilities};
+use copydet_detect::{
+    CopyDetector, DetectionResult, IncrementalConfig, IncrementalDetector, IncrementalRoundStats,
+    RoundInput,
+};
+use copydet_fusion::{value_probabilities, VoteConfig};
+
+/// Configuration of a [`LiveDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveConfig {
+    /// Model priors shared with the detector and the vote bootstrap.
+    pub params: CopyParams,
+    /// Accuracy assumed for every source by the vote bootstrap (the paper's
+    /// implementations use 0.8).
+    pub initial_accuracy: f64,
+    /// Configuration of the underlying incremental detector. The default
+    /// uses `warmup_rounds: 0`: only the very first batch is detected from
+    /// scratch, every later batch is delta-driven.
+    pub incremental: IncrementalConfig,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            params: CopyParams::paper_defaults(),
+            initial_accuracy: 0.8,
+            incremental: IncrementalConfig { warmup_rounds: 0, ..IncrementalConfig::default() },
+        }
+    }
+}
+
+/// Drives delta-driven copy detection over a stream of store snapshots.
+///
+/// Each [`observe`](Self::observe) call bootstraps the detection state for
+/// the snapshot (uniform source accuracies, accuracy-weighted vote
+/// probabilities — the same state a from-scratch single-round run would use)
+/// and runs one detection round: the first snapshot from scratch (HYBRID
+/// with bookkeeping), every later snapshot through the incremental
+/// delta path, so only pairs affected by the new claims are re-decided.
+pub struct LiveDetector {
+    config: LiveConfig,
+    detector: IncrementalDetector,
+    round: usize,
+    last_epoch: Option<u64>,
+}
+
+impl Default for LiveDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveDetector {
+    /// Creates the pipeline with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(LiveConfig::default())
+    }
+
+    /// Creates the pipeline with a custom configuration.
+    pub fn with_config(config: LiveConfig) -> Self {
+        Self {
+            config,
+            detector: IncrementalDetector::with_config(config.incremental),
+            round: 0,
+            last_epoch: None,
+        }
+    }
+
+    /// Runs one detection round over a snapshot and returns the per-pair
+    /// outcomes.
+    ///
+    /// # Panics
+    /// Panics if a snapshot is skipped or observed out of order: after the
+    /// first observation, each call must see the immediately following epoch.
+    /// A snapshot's delta only covers the changes since its *direct*
+    /// predecessor, so skipping one would silently drop the skipped window's
+    /// claims from the detector's bookkeeping. (Snapshots taken before the
+    /// first observation are fine — the first round detects the full dataset
+    /// from scratch.)
+    pub fn observe(&mut self, snapshot: &StoreSnapshot) -> DetectionResult {
+        if let Some(last) = self.last_epoch {
+            assert!(
+                snapshot.epoch == last + 1,
+                "snapshots must be observed consecutively (epoch {} after {}): a snapshot's \
+                 delta covers only its direct predecessor, so a skipped snapshot would lose \
+                 its claims from the incremental bookkeeping",
+                snapshot.epoch,
+                last
+            );
+        }
+        self.last_epoch = Some(snapshot.epoch);
+        let (accuracies, probabilities) = self.bootstrap_state(snapshot);
+        self.round += 1;
+        let mut input =
+            RoundInput::new(&snapshot.dataset, &accuracies, &probabilities, self.config.params);
+        if let Some(delta) = &snapshot.delta {
+            input = input.with_delta(delta);
+        }
+        self.detector.detect_round(&input, self.round)
+    }
+
+    /// The bootstrap detection state the pipeline uses for a snapshot:
+    /// uniform accuracies and vote-based value probabilities. Exposed so
+    /// equivalence tests can run a from-scratch baseline on identical state.
+    pub fn bootstrap_state(
+        &self,
+        snapshot: &StoreSnapshot,
+    ) -> (SourceAccuracies, ValueProbabilities) {
+        let accuracies =
+            SourceAccuracies::uniform(snapshot.dataset.num_sources(), self.config.initial_accuracy)
+                .expect("initial accuracy is a probability");
+        let probabilities = value_probabilities(
+            &snapshot.dataset,
+            &accuracies,
+            None,
+            &VoteConfig::new(self.config.params),
+        );
+        (accuracies, probabilities)
+    }
+
+    /// Number of detection rounds run so far.
+    pub fn rounds(&self) -> usize {
+        self.round
+    }
+
+    /// Per-round pass statistics of the underlying incremental detector
+    /// (empty until the first delta-driven round).
+    pub fn round_stats(&self) -> &[IncrementalRoundStats] {
+        self.detector.round_stats()
+    }
+
+    /// The underlying incremental detector.
+    pub fn detector(&self) -> &IncrementalDetector {
+        &self.detector
+    }
+
+    /// Resets the pipeline to its initial state.
+    pub fn reset(&mut self) {
+        self.detector.reset();
+        self.round = 0;
+        self.last_epoch = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClaimStore;
+
+    #[test]
+    fn observe_runs_warmup_then_delta_rounds() {
+        let mut store = ClaimStore::new();
+        for (s, d, v) in [
+            ("S0", "NJ", "Trenton"),
+            ("S1", "NJ", "Trenton"),
+            ("S2", "NJ", "Newark"),
+            ("S0", "AZ", "Phoenix"),
+            ("S1", "AZ", "Phoenix"),
+        ] {
+            store.ingest(s, d, v);
+        }
+        let mut live = LiveDetector::new();
+        let snap1 = store.snapshot();
+        let r1 = live.observe(&snap1);
+        assert_eq!(r1.algorithm, "INCREMENTAL");
+        assert_eq!(live.rounds(), 1);
+        assert!(live.round_stats().is_empty(), "first round is a warm-up");
+
+        store.ingest("S2", "AZ", "Phoenix");
+        let snap2 = store.snapshot();
+        let _r2 = live.observe(&snap2);
+        assert_eq!(live.rounds(), 2);
+        let stats = live.round_stats().last().copied().unwrap();
+        assert!(stats.delta_recomputed > 0, "second round is delta-driven");
+
+        live.reset();
+        assert_eq!(live.rounds(), 0);
+        assert!(live.round_stats().is_empty());
+    }
+
+    #[test]
+    fn empty_delta_on_grown_id_space_is_safe() {
+        // A source can be interned before its first claim arrives; the next
+        // snapshot then has a grown id space but an empty delta. The delta
+        // round must pad its old-state bookkeeping rather than index out of
+        // bounds.
+        let mut store = ClaimStore::new();
+        store.ingest("S0", "D0", "x");
+        store.ingest("S1", "D0", "x");
+        let mut live = LiveDetector::new();
+        let _ = live.observe(&store.snapshot());
+        store.source("announced-but-silent");
+        let snap = store.snapshot();
+        assert!(snap.delta.as_ref().is_some_and(|d| d.is_empty()));
+        assert_eq!(snap.dataset.num_sources(), 3);
+        let result = live.observe(&snap);
+        assert_eq!(result.algorithm, "INCREMENTAL");
+        // The silent source can now start claiming.
+        store.ingest("announced-but-silent", "D0", "x");
+        let result = live.observe(&store.snapshot());
+        assert!(result.pairs_considered > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "observed consecutively")]
+    fn observe_rejects_out_of_order_snapshots() {
+        let mut store = ClaimStore::new();
+        store.ingest("S0", "D0", "x");
+        let snap1 = store.snapshot();
+        store.ingest("S1", "D0", "x");
+        let snap2 = store.snapshot();
+        let mut live = LiveDetector::new();
+        let _ = live.observe(&snap2);
+        let _ = live.observe(&snap1);
+    }
+
+    #[test]
+    #[should_panic(expected = "observed consecutively")]
+    fn observe_rejects_skipped_snapshots() {
+        let mut store = ClaimStore::new();
+        store.ingest("S0", "D0", "x");
+        let snap1 = store.snapshot();
+        let mut live = LiveDetector::new();
+        let _ = live.observe(&snap1);
+        store.ingest("S1", "D0", "x");
+        let _skipped = store.snapshot(); // drains the tracker — must be observed
+        store.ingest("S2", "D0", "x");
+        let snap3 = store.snapshot();
+        let _ = live.observe(&snap3);
+    }
+}

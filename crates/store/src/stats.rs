@@ -1,0 +1,64 @@
+//! Summary statistics of a [`ClaimStore`](crate::ClaimStore).
+
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time summary of a store's shape, for monitoring and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Number of snapshots taken so far.
+    pub epoch: u64,
+    /// Sources seen so far.
+    pub num_sources: usize,
+    /// Items seen so far.
+    pub num_items: usize,
+    /// Distinct values seen so far.
+    pub num_values: usize,
+    /// Distinct live `(source, item)` claims in the merged view.
+    pub live_claims: usize,
+    /// Total ingest calls (including overwrites).
+    pub total_ingested: u64,
+    /// Ingests that overwrote an existing claim.
+    pub overwrites: usize,
+    /// Number of sealed segments.
+    pub sealed_segments: usize,
+    /// Claims across all sealed segments (counting per-segment duplicates).
+    pub sealed_claims: usize,
+    /// Claims in the growing segment.
+    pub growing_claims: usize,
+    /// `(source, item)` slots written since the last snapshot.
+    pub pending_delta_claims: usize,
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {}: {} claims live ({} sealed segment(s) holding {}, {} growing), \
+             {} sources × {} items, {} ingested ({} overwrites), {} pending delta claim(s)",
+            self.epoch,
+            self.live_claims,
+            self.sealed_segments,
+            self.sealed_claims,
+            self.growing_claims,
+            self.num_sources,
+            self.num_items,
+            self.total_ingested,
+            self.overwrites,
+            self.pending_delta_claims,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let stats =
+            StoreStats { epoch: 2, live_claims: 10, sealed_segments: 1, ..Default::default() };
+        let s = stats.to_string();
+        assert!(s.contains("epoch 2"));
+        assert!(s.contains("10 claims live"));
+    }
+}

@@ -1,0 +1,471 @@
+//! The segmented live claim store.
+
+use crate::delta::DeltaTracker;
+use crate::segment::{merge_sorted, GrowingSegment, SealedSegment};
+use crate::snapshot::StoreSnapshot;
+use crate::stats::StoreStats;
+use copydet_bayes::{CopyParams, SourceAccuracies, ValueProbabilities};
+use copydet_index::{InvertedIndex, SharedItemCounts};
+use copydet_model::{Claim, Dataset, Interner, ItemId, NameTable, SourceId, ValueId};
+
+/// Configuration of a [`ClaimStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreConfig {
+    /// Automatically seal the growing segment once it holds this many
+    /// claims (`None` = seal only on explicit [`ClaimStore::seal`] /
+    /// [`ClaimStore::snapshot`] boundaries).
+    pub seal_threshold: Option<usize>,
+    /// Automatically compact once the number of sealed segments exceeds this
+    /// bound (`None` = compact only on explicit [`ClaimStore::compact`]).
+    pub max_sealed_segments: Option<usize>,
+}
+
+/// An append-oriented claim store for continuously arriving claims.
+///
+/// Writes land in an in-memory [`GrowingSegment`]; [`seal`](Self::seal)
+/// freezes it into an immutable [`SealedSegment`];
+/// [`compact`](Self::compact) coalesces sealed segments newest-wins. The
+/// store owns the global name tables (sources, items, values interned in
+/// first-seen order), so a [`snapshot`](Self::snapshot) assembles a
+/// [`Dataset`] **identical** to building the same claim sequence through one
+/// [`DatasetBuilder`](copydet_model::DatasetBuilder) pass — every existing
+/// detector runs unchanged on it. Each snapshot (after the first) also
+/// carries the [`DatasetDelta`](copydet_model::DatasetDelta) against the
+/// previous snapshot, which feeds delta-driven incremental detection.
+///
+/// The store additionally maintains the pairwise shared-item counts
+/// `l(S1, S2)` *incrementally at ingest time*, so building an inverted index
+/// over a snapshot ([`build_index`](Self::build_index)) skips the counting
+/// pass that dominates index construction on provider-dense datasets.
+#[derive(Debug, Clone)]
+pub struct ClaimStore {
+    sources: NameTable,
+    items: NameTable,
+    values: Interner,
+    sealed: Vec<SealedSegment>,
+    growing: GrowingSegment,
+    /// Sources providing each item (any value), kept sorted — the substrate
+    /// for incremental shared-item counting.
+    item_providers: Vec<Vec<SourceId>>,
+    shared: SharedItemCounts,
+    tracker: DeltaTracker,
+    epoch: u64,
+    config: StoreConfig,
+    num_live_claims: usize,
+    total_ingested: u64,
+    overwrites: usize,
+}
+
+impl Default for ClaimStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClaimStore {
+    /// Creates an empty store with manual sealing/compaction.
+    pub fn new() -> Self {
+        Self::with_config(StoreConfig::default())
+    }
+
+    /// Creates an empty store with the given configuration.
+    pub fn with_config(config: StoreConfig) -> Self {
+        let empty = copydet_model::DatasetBuilder::new().build();
+        Self {
+            sources: NameTable::new(),
+            items: NameTable::new(),
+            values: Interner::new(),
+            sealed: Vec::new(),
+            growing: GrowingSegment::new(),
+            item_providers: Vec::new(),
+            shared: SharedItemCounts::build(&empty),
+            tracker: DeltaTracker::default(),
+            epoch: 0,
+            config,
+            num_live_claims: 0,
+            total_ingested: 0,
+            overwrites: 0,
+        }
+    }
+
+    /// Interns (or retrieves) a source by name.
+    ///
+    /// Id assignment is shared with `DatasetBuilder` through
+    /// [`NameTable`], so the two construction paths cannot drift.
+    pub fn source(&mut self, name: &str) -> SourceId {
+        SourceId::from_index(self.sources.intern(name))
+    }
+
+    /// Interns (or retrieves) a data item by name.
+    pub fn item(&mut self, name: &str) -> ItemId {
+        let idx = self.items.intern(name);
+        if idx == self.item_providers.len() {
+            self.item_providers.push(Vec::new());
+        }
+        ItemId::from_index(idx)
+    }
+
+    /// Interns (or retrieves) a value string.
+    pub fn value(&mut self, s: &str) -> ValueId {
+        self.values.intern(s)
+    }
+
+    /// Ingests the claim "source provides `value` for `item`", interning all
+    /// three strings, and returns it as dense ids.
+    ///
+    /// Re-claiming an already-claimed item overwrites the value
+    /// (last-claim-wins, like `DatasetBuilder`). May auto-seal per
+    /// [`StoreConfig::seal_threshold`].
+    pub fn ingest(&mut self, source: &str, item: &str, value: &str) -> Claim {
+        let s = self.source(source);
+        let d = self.item(item);
+        let v = self.value(value);
+        self.ingest_ids(s, d, v);
+        Claim { source: s, item: d, value: v }
+    }
+
+    /// Ingests a claim using already-interned identifiers.
+    ///
+    /// # Panics
+    /// Panics if any id was not produced by this store.
+    pub fn ingest_ids(&mut self, source: SourceId, item: ItemId, value: ValueId) {
+        assert!(source.index() < self.sources.len(), "unknown source id {source}");
+        assert!(item.index() < self.items.len(), "unknown item id {item}");
+        assert!(value.index() < self.values.len(), "unknown value id {value}");
+        self.total_ingested += 1;
+        let old = self.merged_value(source, item);
+        self.tracker.note(source, item, old);
+        if old.is_none() {
+            // A brand-new (source, item) claim: update the live claim count
+            // and the shared-item counts against the item's other providers.
+            self.num_live_claims += 1;
+            self.shared.grow(self.sources.len());
+            let providers = &mut self.item_providers[item.index()];
+            for &t in providers.iter() {
+                self.shared.increment(copydet_model::SourcePair::new(source, t), 1);
+            }
+            let pos = providers.binary_search(&source).unwrap_err();
+            providers.insert(pos, source);
+        } else {
+            self.overwrites += 1;
+        }
+        self.growing.insert(source, item, value);
+        if let Some(limit) = self.config.seal_threshold {
+            if self.growing.num_claims() >= limit {
+                self.seal();
+            }
+        }
+    }
+
+    /// The current merged value for `(source, item)`: growing segment first,
+    /// then sealed segments newest to oldest.
+    pub fn merged_value(&self, source: SourceId, item: ItemId) -> Option<ValueId> {
+        if let Some(v) = self.growing.get(source, item) {
+            return Some(v);
+        }
+        self.sealed.iter().rev().find_map(|seg| seg.get(source, item))
+    }
+
+    /// Freezes the growing segment into a sealed segment (no-op when the
+    /// growing segment is empty). May auto-compact per
+    /// [`StoreConfig::max_sealed_segments`].
+    pub fn seal(&mut self) {
+        if self.growing.is_empty() {
+            return;
+        }
+        let growing = std::mem::take(&mut self.growing);
+        self.sealed.push(growing.freeze());
+        if let Some(limit) = self.config.max_sealed_segments {
+            if self.sealed.len() > limit {
+                self.compact();
+            }
+        }
+    }
+
+    /// Coalesces all sealed segments into one (newest-wins), bounding the
+    /// number of segments a lookup or snapshot has to visit.
+    pub fn compact(&mut self) {
+        if self.sealed.len() < 2 {
+            return;
+        }
+        let mut merged = self.sealed.remove(0);
+        for seg in self.sealed.drain(..) {
+            merged = SealedSegment::merge(&merged, &seg);
+        }
+        self.sealed = vec![merged];
+    }
+
+    /// Takes a consistent snapshot: a [`Dataset`] over all claims ingested so
+    /// far (identical to one `DatasetBuilder` pass over the same claim
+    /// sequence) plus, from the second snapshot on, the delta against the
+    /// previous snapshot.
+    ///
+    /// Snapshotting does not seal or otherwise disturb the segments; ingest
+    /// can continue afterwards.
+    pub fn snapshot(&mut self) -> StoreSnapshot {
+        // Merge per-source claim lists across segments, oldest to newest
+        // (the growing segment, frozen into a view, is simply the newest).
+        let mut claims: Vec<Vec<(ItemId, ValueId)>> = vec![Vec::new(); self.sources.len()];
+        let frozen = (!self.growing.is_empty()).then(|| self.growing.freeze_ref());
+        for seg in self.sealed.iter().chain(frozen.iter()) {
+            for (s, list) in seg.per_source() {
+                let slot = &mut claims[s.index()];
+                if slot.is_empty() {
+                    slot.extend_from_slice(list);
+                } else {
+                    *slot = merge_sorted(slot, list);
+                }
+            }
+        }
+        let dataset = Dataset::from_sorted_claims(
+            self.sources.names().to_vec(),
+            self.items.names().to_vec(),
+            self.values.clone(),
+            claims,
+        );
+        let delta = if self.epoch == 0 {
+            self.tracker = DeltaTracker::default();
+            None
+        } else {
+            let sealed = &self.sealed;
+            let growing = &self.growing;
+            Some(self.tracker.drain_into_delta(|s, d| {
+                growing.get(s, d).or_else(|| sealed.iter().rev().find_map(|seg| seg.get(s, d)))
+            }))
+        };
+        self.epoch += 1;
+        StoreSnapshot { epoch: self.epoch, dataset, delta }
+    }
+
+    /// Builds the inverted index for the *latest* snapshot using the store's
+    /// incrementally-maintained shared-item counts, skipping the
+    /// `O(Σ providers²)` counting pass of a cold
+    /// [`InvertedIndex::build`].
+    ///
+    /// # Panics
+    /// Panics if `snapshot` is not the store's latest snapshot or claims were
+    /// ingested after it was taken (the shared counts would not match).
+    pub fn build_index(
+        &self,
+        snapshot: &StoreSnapshot,
+        accuracies: &SourceAccuracies,
+        probabilities: &ValueProbabilities,
+        params: &CopyParams,
+    ) -> InvertedIndex {
+        assert_eq!(snapshot.epoch, self.epoch, "snapshot is not the store's latest");
+        assert_eq!(
+            snapshot.dataset.num_claims(),
+            self.num_live_claims,
+            "claims were ingested after the snapshot was taken"
+        );
+        InvertedIndex::build_from_groups(
+            snapshot.dataset.groups(),
+            self.shared.clone(),
+            accuracies,
+            probabilities,
+            params,
+        )
+    }
+
+    /// The incrementally-maintained shared-item counts `l(S1, S2)` over the
+    /// current merged view.
+    pub fn shared_item_counts(&self) -> &SharedItemCounts {
+        &self.shared
+    }
+
+    /// Number of distinct live `(source, item)` claims in the merged view.
+    pub fn num_claims(&self) -> usize {
+        self.num_live_claims
+    }
+
+    /// Number of sources seen so far.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of items seen so far.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of distinct values seen so far.
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of snapshots taken so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Summary statistics of the store.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            epoch: self.epoch,
+            num_sources: self.num_sources(),
+            num_items: self.num_items(),
+            num_values: self.num_values(),
+            live_claims: self.num_live_claims,
+            total_ingested: self.total_ingested,
+            overwrites: self.overwrites,
+            sealed_segments: self.sealed.len(),
+            sealed_claims: self.sealed.iter().map(SealedSegment::num_claims).sum(),
+            growing_claims: self.growing.num_claims(),
+            pending_delta_claims: self.tracker.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copydet_model::DatasetBuilder;
+
+    const CLAIMS: &[(&str, &str, &str)] = &[
+        ("S0", "NJ", "Trenton"),
+        ("S1", "NJ", "Trenton"),
+        ("S2", "NJ", "Newark"),
+        ("S0", "AZ", "Phoenix"),
+        ("S1", "AZ", "Tempe"),
+        ("S2", "AZ", "Phoenix"),
+        ("S0", "NJ", "Newark"), // overwrite
+    ];
+
+    fn builder_dataset(claims: &[(&str, &str, &str)]) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        for (s, d, v) in claims {
+            b.add_claim(s, d, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn snapshot_equals_one_builder_pass() {
+        let mut store = ClaimStore::new();
+        for (i, (s, d, v)) in CLAIMS.iter().enumerate() {
+            store.ingest(s, d, v);
+            if i == 2 {
+                store.seal();
+            }
+            if i == 4 {
+                store.seal();
+                store.compact();
+            }
+        }
+        let snap = store.snapshot();
+        assert_eq!(snap.dataset, builder_dataset(CLAIMS));
+        assert_eq!(snap.epoch, 1);
+        assert!(snap.delta.is_none(), "first snapshot has no predecessor");
+        assert_eq!(store.num_claims(), snap.dataset.num_claims());
+    }
+
+    #[test]
+    fn second_snapshot_carries_the_delta() {
+        let mut store = ClaimStore::new();
+        for (s, d, v) in &CLAIMS[..5] {
+            store.ingest(s, d, v);
+        }
+        let snap1 = store.snapshot();
+        store.seal();
+        for (s, d, v) in &CLAIMS[5..] {
+            store.ingest(s, d, v);
+        }
+        store.ingest("S3", "NJ", "Trenton");
+        let snap2 = store.snapshot();
+        let delta = snap2.delta.as_ref().expect("second snapshot has a delta");
+        assert_eq!(
+            delta,
+            &copydet_model::DatasetDelta::between(&snap1.dataset, &snap2.dataset),
+            "tracked delta must equal the snapshot diff"
+        );
+        assert_eq!(delta.len(), 3);
+        assert_eq!(snap2.epoch, 2);
+    }
+
+    #[test]
+    fn shared_counts_match_cold_build_and_index_agrees() {
+        let mut store = ClaimStore::new();
+        for (s, d, v) in CLAIMS {
+            store.ingest(s, d, v);
+        }
+        store.ingest("S3", "NJ", "Trenton");
+        store.ingest("S3", "AZ", "Phoenix");
+        let snap = store.snapshot();
+        let cold = SharedItemCounts::build(&snap.dataset);
+        for (pair, n) in cold.iter_nonzero() {
+            assert_eq!(store.shared_item_counts().get(pair), n, "pair {pair}");
+        }
+        assert_eq!(store.shared_item_counts().num_sharing_pairs(), cold.num_sharing_pairs());
+
+        let params = CopyParams::paper_defaults();
+        let accuracies = SourceAccuracies::uniform(snap.dataset.num_sources(), 0.8).unwrap();
+        let probabilities = ValueProbabilities::uniform_over_dataset(&snap.dataset, 0.4).unwrap();
+        let warm = store.build_index(&snap, &accuracies, &probabilities, &params);
+        let cold_index = InvertedIndex::build(&snap.dataset, &accuracies, &probabilities, &params);
+        assert_eq!(warm.entries(), cold_index.entries());
+        assert_eq!(warm.ebar_start(), cold_index.ebar_start());
+    }
+
+    #[test]
+    fn auto_seal_and_auto_compact() {
+        let mut store = ClaimStore::with_config(StoreConfig {
+            seal_threshold: Some(2),
+            max_sealed_segments: Some(2),
+        });
+        for (s, d, v) in CLAIMS {
+            store.ingest(s, d, v);
+        }
+        let stats = store.stats();
+        assert!(stats.sealed_segments >= 1, "auto-seal must have fired");
+        assert!(stats.sealed_segments <= 2, "auto-compact must bound the segment count");
+        assert_eq!(stats.live_claims, 6);
+        assert_eq!(stats.total_ingested, 7);
+        assert_eq!(stats.overwrites, 1);
+        let snap = store.snapshot();
+        assert_eq!(snap.dataset, builder_dataset(CLAIMS));
+    }
+
+    #[test]
+    fn stats_reflect_the_pipeline() {
+        let mut store = ClaimStore::new();
+        store.ingest("S0", "D0", "x");
+        store.ingest("S1", "D0", "y");
+        let stats = store.stats();
+        assert_eq!(stats.epoch, 0);
+        assert_eq!(stats.num_sources, 2);
+        assert_eq!(stats.num_items, 1);
+        assert_eq!(stats.num_values, 2);
+        assert_eq!(stats.growing_claims, 2);
+        assert_eq!(stats.sealed_claims, 0);
+        assert_eq!(stats.pending_delta_claims, 2);
+        let _ = store.snapshot();
+        assert_eq!(store.stats().pending_delta_claims, 0);
+        store.seal();
+        let stats = store.stats();
+        assert_eq!(stats.growing_claims, 0);
+        assert_eq!(stats.sealed_claims, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source id")]
+    fn ingest_ids_validates() {
+        let mut store = ClaimStore::new();
+        let d = store.item("D");
+        let v = store.value("x");
+        store.ingest_ids(SourceId::new(7), d, v);
+    }
+
+    #[test]
+    #[should_panic(expected = "ingested after the snapshot")]
+    fn build_index_rejects_stale_snapshots() {
+        let mut store = ClaimStore::new();
+        store.ingest("S0", "D0", "x");
+        store.ingest("S1", "D0", "x");
+        let snap = store.snapshot();
+        store.ingest("S2", "D0", "x");
+        let params = CopyParams::paper_defaults();
+        let accuracies = SourceAccuracies::uniform(3, 0.8).unwrap();
+        let probabilities = ValueProbabilities::new(1);
+        let _ = store.build_index(&snap, &accuracies, &probabilities, &params);
+    }
+}

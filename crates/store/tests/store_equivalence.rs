@@ -1,0 +1,153 @@
+//! Store/batch equivalence: any interleaving of ingest + seal + compact
+//! must yield a snapshot whose `Dataset`, inverted index, and HYBRID copy
+//! decisions are identical to building the same claim sequence in one
+//! `DatasetBuilder` pass.
+
+use copydet_bayes::{CopyParams, SourceAccuracies, ValueProbabilities};
+use copydet_detect::{CopyDetector, HybridDetector, RoundInput};
+use copydet_index::{InvertedIndex, SharedItemCounts};
+use copydet_model::{Dataset, DatasetBuilder};
+use copydet_store::{ClaimStore, StoreConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// After each claim, the interleaving may seal (op 1), seal + compact
+/// (op 2), snapshot (op 3), or do nothing (op 0).
+fn workload_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, u8)>> {
+    prop::collection::vec((0u8..10, 0u8..12, 0u8..5, 0u8..=3), 0..90)
+}
+
+fn batch_dataset(claims: &[(u8, u8, u8, u8)]) -> Dataset {
+    let mut b = DatasetBuilder::new();
+    for (s, d, v, _) in claims {
+        b.add_claim(&format!("S{s}"), &format!("D{d}"), &format!("v{v}"));
+    }
+    b.build()
+}
+
+fn streamed_store(claims: &[(u8, u8, u8, u8)]) -> ClaimStore {
+    let mut store = ClaimStore::new();
+    for (s, d, v, op) in claims {
+        store.ingest(&format!("S{s}"), &format!("D{d}"), &format!("v{v}"));
+        match op {
+            1 => store.seal(),
+            2 => {
+                store.seal();
+                store.compact();
+            }
+            3 => {
+                let _ = store.snapshot();
+            }
+            _ => {}
+        }
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The snapshot dataset is indistinguishable from a one-pass build.
+    #[test]
+    fn snapshot_dataset_equals_batch_build(claims in workload_strategy()) {
+        let batch = batch_dataset(&claims);
+        let mut store = streamed_store(&claims);
+        let snap = store.snapshot();
+        prop_assert_eq!(&snap.dataset, &batch);
+        prop_assert_eq!(store.num_claims(), batch.num_claims());
+    }
+
+    /// The incrementally-maintained shared-item counts and the store-built
+    /// index match a cold build over the batch dataset.
+    #[test]
+    fn snapshot_index_equals_batch_index(claims in workload_strategy()) {
+        let batch = batch_dataset(&claims);
+        let mut store = streamed_store(&claims);
+        let snap = store.snapshot();
+
+        let cold_counts = SharedItemCounts::build(&batch);
+        for (pair, n) in cold_counts.iter_nonzero() {
+            prop_assert_eq!(store.shared_item_counts().get(pair), n);
+        }
+        prop_assert_eq!(
+            store.shared_item_counts().num_sharing_pairs(),
+            cold_counts.num_sharing_pairs()
+        );
+
+        let params = CopyParams::paper_defaults();
+        let accuracies = SourceAccuracies::uniform(batch.num_sources(), 0.8).unwrap();
+        let probabilities = ValueProbabilities::uniform_over_dataset(&batch, 0.35).unwrap();
+        let warm = store.build_index(&snap, &accuracies, &probabilities, &params);
+        let cold = InvertedIndex::build(&batch, &accuracies, &probabilities, &params);
+        prop_assert_eq!(warm.entries(), cold.entries());
+        prop_assert_eq!(warm.ebar_start(), cold.ebar_start());
+    }
+
+    /// HYBRID decides the same copying pairs on the snapshot as on the
+    /// batch-built dataset.
+    #[test]
+    fn hybrid_decisions_agree(claims in workload_strategy()) {
+        let batch = batch_dataset(&claims);
+        let mut store = streamed_store(&claims);
+        let snap = store.snapshot();
+        if batch.num_claims() == 0 {
+            return Ok(());
+        }
+
+        let params = CopyParams::paper_defaults();
+        let accuracies = SourceAccuracies::uniform(batch.num_sources(), 0.8).unwrap();
+        let probabilities = copydet_fusion::value_probabilities(
+            &batch,
+            &accuracies,
+            None,
+            &copydet_fusion::VoteConfig::new(params),
+        );
+        let mut hybrid = HybridDetector::new();
+        let on_batch = hybrid.detect_round(
+            &RoundInput::new(&batch, &accuracies, &probabilities, params),
+            1,
+        );
+        let on_snapshot = hybrid.detect_round(
+            &RoundInput::new(&snap.dataset, &accuracies, &probabilities, params),
+            1,
+        );
+        let batch_pairs: BTreeSet<_> = on_batch.copying_pairs().collect();
+        let snapshot_pairs: BTreeSet<_> = on_snapshot.copying_pairs().collect();
+        prop_assert_eq!(batch_pairs, snapshot_pairs);
+        prop_assert_eq!(on_batch.pairs_considered, on_snapshot.pairs_considered);
+        prop_assert_eq!(on_batch.counter.score_updates, on_snapshot.counter.score_updates);
+    }
+
+    /// Auto-sealing/compaction configurations do not change the snapshot.
+    #[test]
+    fn auto_segmentation_is_transparent(claims in workload_strategy()) {
+        let batch = batch_dataset(&claims);
+        let mut store = ClaimStore::with_config(StoreConfig {
+            seal_threshold: Some(7),
+            max_sealed_segments: Some(2),
+        });
+        for (s, d, v, _) in &claims {
+            store.ingest(&format!("S{s}"), &format!("D{d}"), &format!("v{v}"));
+        }
+        let snap = store.snapshot();
+        prop_assert_eq!(&snap.dataset, &batch);
+    }
+
+    /// Consecutive snapshots carry a delta equal to the snapshot diff.
+    #[test]
+    fn tracked_delta_equals_snapshot_diff(claims in workload_strategy()) {
+        if claims.len() < 2 {
+            return Ok(());
+        }
+        let (first, rest) = claims.split_at(claims.len() / 2);
+        let mut store = streamed_store(first);
+        let snap1 = store.snapshot();
+        for (s, d, v, _) in rest {
+            store.ingest(&format!("S{s}"), &format!("D{d}"), &format!("v{v}"));
+        }
+        let snap2 = store.snapshot();
+        let delta = snap2.delta.as_ref().expect("second snapshot carries a delta");
+        let expected = copydet_model::DatasetDelta::between(&snap1.dataset, &snap2.dataset);
+        prop_assert_eq!(delta, &expected);
+    }
+}

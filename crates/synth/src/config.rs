@@ -102,7 +102,12 @@ impl SynthConfig {
             n_false_values: 20,
             coverage: CoverageModel::Uniform { min_fraction: 0.4, max_fraction: 0.9 },
             accuracy: AccuracyModel::Uniform { min: 0.5, max: 0.95 },
-            copying: CopyingConfig { num_groups: 2, min_copiers: 1, max_copiers: 3, selectivity: 0.8 },
+            copying: CopyingConfig {
+                num_groups: 2,
+                min_copiers: 1,
+                max_copiers: 3,
+                selectivity: 0.8,
+            },
             seed,
         }
     }

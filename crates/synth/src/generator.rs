@@ -71,8 +71,8 @@ pub fn generate(name: &str, config: &SynthConfig) -> SyntheticDataset {
                     f.max(min_items as f64 / config.num_items as f64)
                 }
             };
-            let count = ((config.num_items as f64 * fraction).round() as usize)
-                .clamp(1, config.num_items);
+            let count =
+                ((config.num_items as f64 * fraction).round() as usize).clamp(1, config.num_items);
             let mut shuffled = items.clone();
             shuffled.shuffle(&mut rng);
             shuffled.truncate(count);
@@ -213,10 +213,7 @@ mod tests {
         for (s_idx, &planted) in synth.gold.planted_accuracies.iter().enumerate() {
             let s = SourceId::new(s_idx as u32);
             let claims = synth.dataset.claims_of(s);
-            let correct = claims
-                .iter()
-                .filter(|&&(d, v)| synth.gold.is_true(d, v))
-                .count();
+            let correct = claims.iter().filter(|&&(d, v)| synth.gold.is_true(d, v)).count();
             let observed = correct as f64 / claims.len() as f64;
             assert!(
                 (observed - planted).abs() < 0.2,

@@ -43,28 +43,25 @@ fn main() {
     println!("  copy-aware fusion:   {:.3}  ({} rounds)", fused_accuracy, outcome.rounds);
 
     // How well did copy detection recover the planted cliques?
-    let detected: HashSet<SourcePair> = outcome
-        .final_detection
-        .as_ref()
-        .map(|d| d.copying_pairs().collect())
-        .unwrap_or_default();
+    let detected: HashSet<SourcePair> =
+        outcome.final_detection.as_ref().map(|d| d.copying_pairs().collect()).unwrap_or_default();
     let planted = workload.gold.copying_pairs();
     let quality = CopyDetectionQuality::compare(&detected, &planted);
     println!("\nCopy detection vs planted copying:");
     println!(
         "  precision {:.2}  recall {:.2}  F-measure {:.2}  ({} detected / {} planted)",
-        quality.precision, quality.recall, quality.f_measure, detected.len(), planted.len()
+        quality.precision,
+        quality.recall,
+        quality.f_measure,
+        detected.len(),
+        planted.len()
     );
 
     // Show a few detected relationships by store name.
     let mut names: Vec<String> = detected
         .iter()
         .map(|p| {
-            format!(
-                "{} <-> {}",
-                dataset.source_name(p.first()),
-                dataset.source_name(p.second())
-            )
+            format!("{} <-> {}", dataset.source_name(p.first()), dataset.source_name(p.second()))
         })
         .collect();
     names.sort();

@@ -27,9 +27,14 @@ fn main() {
 
     // The inverted index of Table III.
     let index = InvertedIndex::build(dataset, &accuracies, &probabilities, &params);
-    println!("Inverted index (Table III): {} entries, Ē starts at {}", index.len(), index.ebar_start());
+    println!(
+        "Inverted index (Table III): {} entries, Ē starts at {}",
+        index.len(),
+        index.ebar_start()
+    );
     for (i, entry) in index.entries().iter().enumerate() {
-        let providers: Vec<&str> = entry.providers.iter().map(|&s| dataset.source_name(s)).collect();
+        let providers: Vec<&str> =
+            entry.providers.iter().map(|&s| dataset.source_name(s)).collect();
         println!(
             "  {:>2}. {:12} Pr={:.2} score={:.2} providers={}{}",
             i + 1,
@@ -55,7 +60,9 @@ fn main() {
     );
     let mut copying: Vec<String> = fast
         .copying_pairs()
-        .map(|p| format!("({}, {})", dataset.source_name(p.first()), dataset.source_name(p.second())))
+        .map(|p| {
+            format!("({}, {})", dataset.source_name(p.first()), dataset.source_name(p.second()))
+        })
         .collect();
     copying.sort();
     println!("Detected copying pairs: {}", copying.join(" "));

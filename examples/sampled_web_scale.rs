@@ -23,11 +23,7 @@ fn run_with_strategy(
     let detector = SampledDetector::new(strategy, 99, IncrementalDetector::new(), label);
     let mut fusion = AccuCopy::new(FusionConfig::default(), detector);
     let outcome = fusion.run(&workload.dataset).expect("non-empty dataset");
-    outcome
-        .final_detection
-        .as_ref()
-        .map(|d| d.copying_pairs().collect())
-        .unwrap_or_default()
+    outcome.final_detection.as_ref().map(|d| d.copying_pairs().collect()).unwrap_or_default()
 }
 
 fn main() {

@@ -25,6 +25,7 @@
 //! | [`fusion`] | `copydet-fusion` | VOTE, ACCU, and the iterative ACCUCOPY loop |
 //! | [`nra`] | `copydet-nra` | Fagin's NRA top-k aggregation |
 //! | [`synth`] | `copydet-synth` | synthetic workloads with planted copying |
+//! | [`store`] | `copydet-store` | segmented live claim store, snapshots, deltas, live detection |
 //! | [`eval`] | `copydet-eval` | metrics and the per-table experiment drivers |
 //!
 //! ## Quick start
@@ -67,6 +68,7 @@ pub use copydet_fusion as fusion;
 pub use copydet_index as index;
 pub use copydet_model as model;
 pub use copydet_nra as nra;
+pub use copydet_store as store;
 pub use copydet_synth as synth;
 
 /// The most commonly used types, re-exported flat for convenient `use
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use copydet_fusion::{accu_fusion, naive_vote, AccuCopy, FusionConfig, FusionOutcome};
     pub use copydet_index::{EntryOrdering, InvertedIndex};
     pub use copydet_model::{
-        Dataset, DatasetBuilder, ItemId, SourceId, SourcePair, ValueId,
+        Dataset, DatasetBuilder, DatasetDelta, ItemId, SourceId, SourcePair, ValueId,
     };
+    pub use copydet_store::{ClaimStore, LiveDetector, StoreConfig, StoreSnapshot};
 }

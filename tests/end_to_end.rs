@@ -107,12 +107,7 @@ fn index_is_exact_inside_the_fusion_loop() {
     let index = run(Box::new(IndexDetector::new()));
 
     assert_eq!(pairwise.truths, index.truths);
-    let p_pairs: HashSet<_> = pairwise
-        .final_detection
-        .as_ref()
-        .unwrap()
-        .copying_pairs()
-        .collect();
+    let p_pairs: HashSet<_> = pairwise.final_detection.as_ref().unwrap().copying_pairs().collect();
     let i_pairs: HashSet<_> = index.final_detection.as_ref().unwrap().copying_pairs().collect();
     assert_eq!(p_pairs, i_pairs);
     assert!(pairwise.accuracies.max_abs_diff(&index.accuracies) < 1e-9);
@@ -133,11 +128,8 @@ fn sampled_detection_end_to_end() {
     let outcome = fusion.run(&workload.dataset).expect("non-empty dataset");
     let accuracy = workload.gold.fusion_accuracy(&outcome.truths, None);
     assert!(accuracy > 0.5, "sampled fusion accuracy {accuracy} too low");
-    let detected: HashSet<SourcePair> = outcome
-        .final_detection
-        .as_ref()
-        .map(|d| d.copying_pairs().collect())
-        .unwrap_or_default();
+    let detected: HashSet<SourcePair> =
+        outcome.final_detection.as_ref().map(|d| d.copying_pairs().collect()).unwrap_or_default();
     let quality = CopyDetectionQuality::compare(&detected, &workload.gold.copying_pairs());
     assert!(quality.recall > 0.3, "sampled recall {:.2} too low", quality.recall);
 }

@@ -73,6 +73,23 @@ fn prelude_reexports_are_usable() {
     let evidence = PairEvidence::default();
     let _: CopyDecision = CopyDecision::from_posterior(evidence.posterior_independence(&params));
     let _: ScoringContext<'_> = ScoringContext::new(&dataset, &accuracies, &probabilities, params);
+
+    // store: stream the same claims in, snapshot, and drive live detection.
+    let mut store =
+        ClaimStore::with_config(StoreConfig { seal_threshold: Some(2), ..Default::default() });
+    for c in dataset.claim_refs() {
+        store.ingest(c.source, c.item, c.value);
+    }
+    let snapshot: StoreSnapshot = store.snapshot();
+    assert_eq!(snapshot.dataset, dataset, "snapshot equals the one-pass build");
+    let mut live = LiveDetector::new();
+    let live_result = live.observe(&snapshot);
+    assert_eq!(live_result.algorithm, "INCREMENTAL");
+    store.ingest("dave", "capital/NJ", "Trenton");
+    let snapshot2 = store.snapshot();
+    let delta: &DatasetDelta = snapshot2.delta.as_ref().expect("delta after first snapshot");
+    assert_eq!(delta.len(), 1);
+    let _ = live.observe(&snapshot2);
 }
 
 /// The quickstart flow (examples/quickstart.rs) through the facade: build

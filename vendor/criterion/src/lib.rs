@@ -155,10 +155,7 @@ impl BenchmarkGroup<'_> {
         let total: Duration = samples.iter().sum();
         let mean = total / samples.len() as u32;
         let min = samples.iter().min().copied().unwrap_or_default();
-        println!(
-            "{full:<60} mean {mean:>12?}   min {min:>12?}   ({} samples)",
-            samples.len()
-        );
+        println!("{full:<60} mean {mean:>12?}   min {min:>12?}   ({} samples)", samples.len());
     }
 
     /// Ends the group (parity with the real API; nothing to flush here).
