@@ -55,6 +55,45 @@ fn main() {
             store.ingest(s, d, v);
         }
         store.seal();
+        // Snapshot-latency series (the zero-copy trajectory): `cold` is the
+        // first, full-assembly snapshot; `delta` is a snapshot after a ~1%
+        // ingest window (the O(delta) patch path); `noop` is a snapshot with
+        // nothing new (pure handle clone). `snapshot_s` keeps its historical
+        // meaning (repeated snapshots of an unchanged store) so the series
+        // stays comparable across PRs.
+        let snapshot_cold_s = median_secs(
+            (0..5)
+                .map(|_| {
+                    let mut fresh = store.clone();
+                    let start = Instant::now();
+                    let snap = fresh.snapshot();
+                    let elapsed = start.elapsed().as_secs_f64();
+                    assert_eq!(snap.dataset.num_claims(), store.num_claims());
+                    elapsed
+                })
+                .collect(),
+        );
+        let delta_window = (n / 100).max(1);
+        let snapshot_delta_s = {
+            let mut warm = store.clone();
+            let _ = warm.snapshot();
+            median_secs(
+                (0..5)
+                    .map(|i| {
+                        for (s, d, v) in
+                            claims.iter().cycle().skip(i * delta_window).take(delta_window)
+                        {
+                            warm.ingest(s, d, v);
+                        }
+                        let start = Instant::now();
+                        let snap = warm.snapshot();
+                        let elapsed = start.elapsed().as_secs_f64();
+                        assert_eq!(snap.dataset.num_claims(), warm.num_claims());
+                        elapsed
+                    })
+                    .collect(),
+            )
+        };
         let snapshot_s = time_n(5, || {
             let snap = store.snapshot();
             assert_eq!(snap.dataset.num_claims(), store.num_claims());
@@ -118,6 +157,11 @@ fn main() {
                 "      \"claims\": {},\n",
                 "      \"ingest_claims_per_s\": {:.0},\n",
                 "      \"snapshot_s\": {:.6},\n",
+                "      \"snapshot_latency\": {{\n",
+                "        \"cold_s\": {:.6},\n",
+                "        \"delta_s\": {:.6},\n",
+                "        \"noop_s\": {:.6}\n",
+                "      }},\n",
                 "      \"batch_rebuild_s\": {:.6},\n",
                 "      \"index_build_warm_s\": {:.6},\n",
                 "      \"index_build_cold_s\": {:.6},\n",
@@ -132,6 +176,9 @@ fn main() {
             synth.name,
             n,
             n as f64 / ingest_s,
+            snapshot_s,
+            snapshot_cold_s,
+            snapshot_delta_s,
             snapshot_s,
             rebuild_s,
             warm_index_s,

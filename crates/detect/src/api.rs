@@ -54,6 +54,44 @@ impl<'a> RoundInput<'a> {
     }
 }
 
+/// An owned detection-round input: the same state as [`RoundInput`], but
+/// holding the snapshot and estimates by value instead of borrowing them.
+///
+/// [`Dataset`] is backed by shared immutable storage, so the `dataset` field
+/// is a cheap *handle* (reference-count bumps, no claim or string copies).
+/// That makes this the hand-off type for concurrent pipelines: prepare the
+/// round under a store lock (or on one thread), move it across the
+/// lock/thread boundary, and run the detector via
+/// [`as_round_input`](OwnedRoundInput::as_round_input) while ingest continues
+/// on the live store. `copydet-store`'s `LiveDetector` assembles one of these
+/// per observed snapshot.
+#[derive(Debug, Clone)]
+pub struct OwnedRoundInput {
+    /// The snapshot of claims (a shared-storage handle).
+    pub dataset: Dataset,
+    /// Source accuracies `A(S)` for the round.
+    pub accuracies: SourceAccuracies,
+    /// Value probabilities `P(D.v)` for the round.
+    pub probabilities: ValueProbabilities,
+    /// Model priors (α, n, s).
+    pub params: CopyParams,
+    /// Claims added or changed since the detector last saw this dataset.
+    pub delta: Option<DatasetDelta>,
+}
+
+impl OwnedRoundInput {
+    /// Borrows the owned state as the [`RoundInput`] every detector consumes.
+    pub fn as_round_input(&self) -> RoundInput<'_> {
+        RoundInput {
+            dataset: &self.dataset,
+            accuracies: &self.accuracies,
+            probabilities: &self.probabilities,
+            params: self.params,
+            delta: self.delta.as_ref(),
+        }
+    }
+}
+
 /// A copy-detection algorithm that can be run once per round of the iterative
 /// truth-finding process.
 ///

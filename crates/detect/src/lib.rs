@@ -35,7 +35,7 @@ mod result;
 mod sampling;
 mod scan;
 
-pub use api::{CopyDetector, RoundInput};
+pub use api::{CopyDetector, OwnedRoundInput, RoundInput};
 pub use counters::ComputationCounter;
 pub use error::DetectError;
 pub use fagin::{FaginInput, FaginInputDetector};

@@ -10,15 +10,22 @@ use copydet_bayes::max_contribution::max_contribution;
 use copydet_bayes::{CopyParams, SourceAccuracies, ValueProbabilities};
 use copydet_model::{Dataset, DatasetDelta, ItemId, ItemValueGroup, SourceId, SourcePair};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The inverted index over shared values (Definition 3.2), stored in
 /// decreasing contribution-score order, together with the per-pair
 /// shared-item counts `l(S1, S2)` gathered at build time.
+///
+/// The counts table sits behind a shared [`Arc`] handle: an ingest-time
+/// maintainer (`copydet-store`) hands its live table to
+/// [`build_from_groups`](InvertedIndex::build_from_groups) without copying the
+/// `O(|S|²)` matrix, and [`apply_claim_delta`](InvertedIndex::apply_claim_delta)
+/// updates it copy-on-write so the maintainer's handle stays frozen.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
     entries: Vec<IndexEntry>,
     ebar_start: usize,
-    shared: SharedItemCounts,
+    shared: Arc<SharedItemCounts>,
     theta_ind: f64,
 }
 
@@ -34,7 +41,7 @@ impl InvertedIndex {
         probabilities: &ValueProbabilities,
         params: &CopyParams,
     ) -> Self {
-        let shared = SharedItemCounts::build(dataset);
+        let shared = Arc::new(SharedItemCounts::build(dataset));
         Self::build_from_groups(dataset.groups(), shared, accuracies, probabilities, params)
     }
 
@@ -46,11 +53,13 @@ impl InvertedIndex {
     /// groups and maintains the shared-item counts incrementally at ingest
     /// time, so index construction skips the `O(Σ providers²)` counting pass
     /// that dominates [`InvertedIndex::build`] on provider-dense datasets.
-    /// Groups with fewer than two providers are skipped, exactly as in
-    /// `build`.
+    /// The counts arrive as a shared handle — the maintainer's live table is
+    /// aliased, not copied; a later mutation on either side detaches
+    /// copy-on-write. Groups with fewer than two providers are skipped,
+    /// exactly as in `build`.
     pub fn build_from_groups<'a>(
         groups: impl IntoIterator<Item = &'a ItemValueGroup>,
-        shared: SharedItemCounts,
+        shared: Arc<SharedItemCounts>,
         accuracies: &SourceAccuracies,
         probabilities: &ValueProbabilities,
         params: &CopyParams,
@@ -157,7 +166,10 @@ impl InvertedIndex {
 
         // Shared-item counts: every *added* claim (source, item) shares its
         // item with every other provider of that item in the grown dataset.
-        self.shared.grow(dataset.num_sources());
+        // Copy-on-write: a maintainer still holding the handle passed to
+        // `build_from_groups` keeps its frozen table.
+        let shared = Arc::make_mut(&mut self.shared);
+        shared.grow(dataset.num_sources());
         let mut added_by_item: BTreeMap<ItemId, BTreeSet<SourceId>> = BTreeMap::new();
         for change in delta.additions() {
             added_by_item.entry(change.item).or_default().insert(change.source);
@@ -169,7 +181,7 @@ impl InvertedIndex {
                         if t == s || (added.contains(&t) && t < s) {
                             continue;
                         }
-                        self.shared.increment(SourcePair::new(s, t), 1);
+                        shared.increment(SourcePair::new(s, t), 1);
                     }
                 }
             }
@@ -445,7 +457,7 @@ mod tests {
         let direct = InvertedIndex::build(&ex.dataset, &accuracies, &probabilities, &params);
         let from_groups = InvertedIndex::build_from_groups(
             ex.dataset.groups(),
-            SharedItemCounts::build(&ex.dataset),
+            Arc::new(SharedItemCounts::build(&ex.dataset)),
             &accuracies,
             &probabilities,
             &params,

@@ -6,6 +6,7 @@ use crate::observation::{Claim, ClaimRef};
 use crate::stats::DatasetStats;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// One distinct value of one data item together with the sources that provide
 /// it.
@@ -45,15 +46,26 @@ impl ItemValueGroup {
 /// inverted index ("the presence of a source in an index entry guarantees its
 /// absence in all entries that correspond to other values for the same data
 /// item").
+///
+/// ## Shared, immutable storage
+///
+/// Every representation lives behind [`Arc`] handles: the name tables and the
+/// value interner as whole-table handles, the claim lists per source and the
+/// value groups per item. Cloning a dataset is therefore a handful of
+/// reference-count bumps plus two pointer-sized copies per source/item — no
+/// string, claim or provider list is ever duplicated. Claim stores exploit
+/// this through [`Dataset::with_patches`], which derives the next snapshot
+/// from the previous one in time proportional to the *changed* entities while
+/// aliasing everything untouched.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
-    pub(crate) source_names: Vec<String>,
-    pub(crate) item_names: Vec<String>,
+    pub(crate) source_names: Arc<Vec<String>>,
+    pub(crate) item_names: Arc<Vec<String>>,
     pub(crate) values: Interner,
     /// `claims[s]` = claims of source `s`, sorted by item id.
-    pub(crate) claims: Vec<Vec<(ItemId, ValueId)>>,
+    pub(crate) claims: Vec<Arc<Vec<(ItemId, ValueId)>>>,
     /// `item_groups[d]` = distinct values of item `d` with their providers.
-    pub(crate) item_groups: Vec<Vec<ItemValueGroup>>,
+    pub(crate) item_groups: Vec<Arc<Vec<ItemValueGroup>>>,
     /// Total number of claims.
     pub(crate) num_claims: usize,
 }
@@ -62,12 +74,8 @@ impl Dataset {
     /// Assembles a snapshot directly from id-space claim lists, bypassing
     /// string interning.
     ///
-    /// This is the construction hook used by segmented claim stores
-    /// (`copydet-store`): the caller owns the name tables and the merged
-    /// per-source claim lists; the per-item value groups are derived here
-    /// with exactly the same normalization as [`DatasetBuilder::build`], so a
-    /// snapshot assembled this way is indistinguishable from one built by a
-    /// single builder pass over the same claims.
+    /// This is the owned-tables convenience over
+    /// [`Dataset::from_shared_claims`]; see there for the contract.
     ///
     /// # Panics
     /// Panics if a claim list is not strictly sorted by item, or if any id is
@@ -75,6 +83,30 @@ impl Dataset {
     pub fn from_sorted_claims(
         source_names: Vec<String>,
         item_names: Vec<String>,
+        values: Interner,
+        claims: Vec<Vec<(ItemId, ValueId)>>,
+    ) -> Dataset {
+        Self::from_shared_claims(Arc::new(source_names), Arc::new(item_names), values, claims)
+    }
+
+    /// Assembles a snapshot from *shared* name tables and id-space claim
+    /// lists.
+    ///
+    /// This is the construction hook used by segmented claim stores
+    /// (`copydet-store`): the caller holds the name tables behind `Arc`
+    /// handles (e.g. [`NameTable::shared_names`](crate::NameTable::shared_names))
+    /// and the snapshot aliases them without copying a string; the per-item
+    /// value groups are derived here with exactly the same normalization as
+    /// [`DatasetBuilder::build`](crate::DatasetBuilder::build), so a snapshot
+    /// assembled this way is indistinguishable from one built by a single
+    /// builder pass over the same claims.
+    ///
+    /// # Panics
+    /// Panics if a claim list is not strictly sorted by item, or if any id is
+    /// out of range for the provided name tables.
+    pub fn from_shared_claims(
+        source_names: Arc<Vec<String>>,
+        item_names: Arc<Vec<String>>,
         values: Interner,
         claims: Vec<Vec<(ItemId, ValueId)>>,
     ) -> Dataset {
@@ -89,8 +121,79 @@ impl Dataset {
                 assert!(v.index() < values.len(), "unknown value id {v}");
             }
         }
-        let item_groups = group_claims(&claims, item_names.len());
+        let item_groups =
+            group_claims(&claims, item_names.len()).into_iter().map(Arc::new).collect();
         let num_claims = claims.iter().map(Vec::len).sum();
+        let claims = claims.into_iter().map(Arc::new).collect();
+        Dataset { source_names, item_names, values, claims, item_groups, num_claims }
+    }
+
+    /// Derives the next snapshot from this one by replacing the claim lists
+    /// of the given sources and the value groups of the given items, aliasing
+    /// every untouched entity.
+    ///
+    /// This is the O(delta) snapshot path of segmented claim stores: cost is
+    /// proportional to the replaced lists (plus one pointer copy per
+    /// source/item), never to the corpus vocabulary. The name tables may
+    /// extend this snapshot's (new sources/items/values); sources and items
+    /// beyond this snapshot's range start with empty claim lists/groups
+    /// unless patched.
+    ///
+    /// The caller is responsible for delta-completeness (every source whose
+    /// claims changed and every item whose groups changed must be patched)
+    /// and for the builder normalization of the replacements: claim lists
+    /// strictly sorted by item, groups sorted by value with providers sorted
+    /// by id. Structural invariants are `debug_assert`ed; equivalence with a
+    /// from-scratch build is property-tested in `copydet-store`.
+    ///
+    /// # Panics
+    /// Panics if the new name tables are shorter than this snapshot's, or if
+    /// a patched source/item id is out of range. At most one patch per
+    /// source/item may be supplied.
+    pub fn with_patches(
+        &self,
+        source_names: Arc<Vec<String>>,
+        item_names: Arc<Vec<String>>,
+        values: Interner,
+        patched_sources: Vec<(SourceId, Vec<(ItemId, ValueId)>)>,
+        patched_items: Vec<(ItemId, Vec<ItemValueGroup>)>,
+    ) -> Dataset {
+        assert!(
+            source_names.len() >= self.source_names.len()
+                && item_names.len() >= self.item_names.len()
+                && values.len() >= self.values.len(),
+            "the new name tables must extend the snapshot's id space"
+        );
+        let mut claims = self.claims.clone();
+        claims.resize_with(source_names.len(), Default::default);
+        let mut item_groups = self.item_groups.clone();
+        item_groups.resize_with(item_names.len(), Default::default);
+        let mut num_claims = self.num_claims;
+        for (s, list) in patched_sources {
+            assert!(s.index() < claims.len(), "unknown source id {s}");
+            debug_assert!(
+                list.windows(2).all(|w| w[0].0 < w[1].0),
+                "claim lists must be strictly sorted by item"
+            );
+            debug_assert!(
+                list.iter().all(|&(d, v)| d.index() < item_names.len() && v.index() < values.len()),
+                "patched claims must stay inside the id space"
+            );
+            num_claims = num_claims - claims[s.index()].len() + list.len();
+            claims[s.index()] = Arc::new(list);
+        }
+        for (d, groups) in patched_items {
+            assert!(d.index() < item_groups.len(), "unknown item id {d}");
+            debug_assert!(
+                groups.windows(2).all(|w| w[0].value < w[1].value),
+                "groups must be sorted by value"
+            );
+            debug_assert!(
+                groups.iter().all(|g| g.item == d && g.providers.windows(2).all(|w| w[0] < w[1])),
+                "groups must carry their item id and sorted providers"
+            );
+            item_groups[d.index()] = Arc::new(groups);
+        }
         Dataset { source_names, item_names, values, claims, item_groups, num_claims }
     }
 
@@ -197,7 +300,7 @@ impl Dataset {
     /// Iterator over every `(item, value)` group in the dataset, in item
     /// order.
     pub fn groups(&self) -> impl Iterator<Item = &ItemValueGroup> + '_ {
-        self.item_groups.iter().flatten()
+        self.item_groups.iter().flat_map(|g| g.iter())
     }
 
     /// Iterator over all claims as id triples, grouped by source.
@@ -215,6 +318,39 @@ impl Dataset {
             item: self.item_name(c.item),
             value: self.value_str(c.value),
         })
+    }
+
+    /// The shared handle to the index-ordered source-name table.
+    ///
+    /// Exposed so aliasing can be *observed*: two snapshots whose handles are
+    /// [`Arc::ptr_eq`] provably share storage (the zero-copy snapshot
+    /// regression tests assert exactly this).
+    pub fn shared_source_names(&self) -> &Arc<Vec<String>> {
+        &self.source_names
+    }
+
+    /// The shared handle to the index-ordered item-name table (see
+    /// [`Dataset::shared_source_names`]).
+    pub fn shared_item_names(&self) -> &Arc<Vec<String>> {
+        &self.item_names
+    }
+
+    /// The value interner (cheaply cloneable; see
+    /// [`Interner::shared_strings`]).
+    pub fn values_interner(&self) -> &Interner {
+        &self.values
+    }
+
+    /// The shared handle to source `s`'s claim list (see
+    /// [`Dataset::shared_source_names`] for the aliasing contract).
+    pub fn shared_claims_of(&self, s: SourceId) -> &Arc<Vec<(ItemId, ValueId)>> {
+        &self.claims[s.index()]
+    }
+
+    /// The shared handle to item `d`'s value groups (see
+    /// [`Dataset::shared_source_names`] for the aliasing contract).
+    pub fn shared_groups_of(&self, d: ItemId) -> &Arc<Vec<ItemValueGroup>> {
+        &self.item_groups[d.index()]
     }
 
     /// Number of data items shared by two sources (both provide some value),
@@ -274,29 +410,30 @@ impl Dataset {
     /// including sources that end up with zero claims — is preserved, so copy
     /// decisions on the projection can be compared pair-by-pair with
     /// decisions on the full dataset. This is the substrate for the sampling
-    /// strategies (SAMPLE1/SAMPLE2/SCALESAMPLE).
+    /// strategies (SAMPLE1/SAMPLE2/SCALESAMPLE). The name tables and the
+    /// groups of kept items are aliased, not copied.
     pub fn project_items(&self, keep: &HashSet<ItemId>) -> Dataset {
-        let claims: Vec<Vec<(ItemId, ValueId)>> = self
+        let claims: Vec<Arc<Vec<(ItemId, ValueId)>>> = self
             .claims
             .iter()
-            .map(|list| list.iter().copied().filter(|(d, _)| keep.contains(d)).collect())
+            .map(|list| Arc::new(list.iter().copied().filter(|(d, _)| keep.contains(d)).collect()))
             .collect();
-        let item_groups: Vec<Vec<ItemValueGroup>> =
-            self.item_groups
-                .iter()
-                .enumerate()
-                .map(|(d, groups)| {
-                    if keep.contains(&ItemId::from_index(d)) {
-                        groups.clone()
-                    } else {
-                        Vec::new()
-                    }
-                })
-                .collect();
-        let num_claims = claims.iter().map(Vec::len).sum();
+        let item_groups: Vec<Arc<Vec<ItemValueGroup>>> = self
+            .item_groups
+            .iter()
+            .enumerate()
+            .map(|(d, groups)| {
+                if keep.contains(&ItemId::from_index(d)) {
+                    Arc::clone(groups)
+                } else {
+                    Arc::default()
+                }
+            })
+            .collect();
+        let num_claims = claims.iter().map(|l| l.len()).sum();
         Dataset {
-            source_names: self.source_names.clone(),
-            item_names: self.item_names.clone(),
+            source_names: Arc::clone(&self.source_names),
+            item_names: Arc::clone(&self.item_names),
             values: self.values.clone(),
             claims,
             item_groups,
@@ -307,7 +444,7 @@ impl Dataset {
 
 /// Derives the per-item value groups from per-source sorted claim lists —
 /// the normalization shared by [`DatasetBuilder::build`](crate::DatasetBuilder)
-/// and [`Dataset::from_sorted_claims`]: providers sorted by id within each
+/// and [`Dataset::from_shared_claims`]: providers sorted by id within each
 /// group, groups sorted by value within each item.
 pub(crate) fn group_claims(
     claims: &[Vec<(ItemId, ValueId)>],
@@ -448,17 +585,33 @@ mod tests {
     }
 
     #[test]
+    fn project_items_aliases_names_and_kept_groups() {
+        let ds = sample();
+        let nj = ds.item_by_name("NJ").unwrap();
+        let keep: HashSet<ItemId> = [nj].into_iter().collect();
+        let proj = ds.project_items(&keep);
+        assert!(Arc::ptr_eq(proj.shared_source_names(), ds.shared_source_names()));
+        assert!(Arc::ptr_eq(proj.shared_item_names(), ds.shared_item_names()));
+        assert!(proj.values_interner().ptr_eq(ds.values_interner()));
+        assert!(Arc::ptr_eq(proj.shared_groups_of(nj), ds.shared_groups_of(nj)));
+    }
+
+    #[test]
     fn from_sorted_claims_matches_builder() {
         let ds = sample();
         let claims: Vec<Vec<(ItemId, ValueId)>> =
             ds.sources().map(|s| ds.claims_of(s).to_vec()).collect();
-        let assembled = Dataset::from_sorted_claims(
-            ds.source_names.clone(),
-            ds.item_names.clone(),
+        let assembled = Dataset::from_shared_claims(
+            Arc::clone(&ds.source_names),
+            Arc::clone(&ds.item_names),
             ds.values.clone(),
             claims,
         );
         assert_eq!(assembled, ds, "assembled snapshot must equal the builder-built one");
+        assert!(
+            Arc::ptr_eq(assembled.shared_source_names(), ds.shared_source_names()),
+            "shared tables are aliased, not copied"
+        );
     }
 
     #[test]
@@ -467,9 +620,82 @@ mod tests {
         let ds = sample();
         let _ = Dataset::from_sorted_claims(
             vec!["S".into()],
-            ds.item_names.clone(),
+            (*ds.item_names).clone(),
             ds.values.clone(),
             vec![vec![(ItemId::new(1), ValueId::new(0)), (ItemId::new(0), ValueId::new(0))]],
+        );
+    }
+
+    #[test]
+    fn with_patches_replaces_only_the_patched_entities() {
+        let ds = sample();
+        let s2 = ds.source_by_name("S2").unwrap();
+        let s0 = ds.source_by_name("S0").unwrap();
+        let az = ds.item_by_name("AZ").unwrap();
+        let nj = ds.item_by_name("NJ").unwrap();
+        let phoenix = ds.value_by_str("Phoenix").unwrap();
+
+        // S2 gains an AZ claim (Phoenix): patch S2's list and AZ's groups.
+        let mut s2_claims = ds.claims_of(s2).to_vec();
+        s2_claims.push((az, phoenix));
+        s2_claims.sort_unstable_by_key(|&(d, _)| d);
+        let mut az_groups = ds.values_of_item(az).to_vec();
+        az_groups
+            .iter_mut()
+            .find(|g| g.value == phoenix)
+            .expect("Phoenix group exists")
+            .providers
+            .push(s2);
+        let patched = ds.with_patches(
+            Arc::clone(&ds.source_names),
+            Arc::clone(&ds.item_names),
+            ds.values.clone(),
+            vec![(s2, s2_claims)],
+            vec![(az, az_groups)],
+        );
+
+        assert_eq!(patched.num_claims(), ds.num_claims() + 1);
+        assert_eq!(patched.value_of(s2, az), Some(phoenix));
+        assert_eq!(patched.providers_of(az, phoenix).len(), 2);
+        // Untouched entities alias the previous snapshot's storage.
+        assert!(Arc::ptr_eq(patched.shared_claims_of(s0), ds.shared_claims_of(s0)));
+        assert!(Arc::ptr_eq(patched.shared_groups_of(nj), ds.shared_groups_of(nj)));
+        assert!(Arc::ptr_eq(patched.shared_source_names(), ds.shared_source_names()));
+        // The patched entities do not.
+        assert!(!Arc::ptr_eq(patched.shared_claims_of(s2), ds.shared_claims_of(s2)));
+        assert!(!Arc::ptr_eq(patched.shared_groups_of(az), ds.shared_groups_of(az)));
+        // The previous snapshot is untouched.
+        assert_eq!(ds.value_of(s2, az), None);
+    }
+
+    #[test]
+    fn with_patches_extends_the_id_space() {
+        let ds = sample();
+        let mut source_names = (*ds.source_names).clone();
+        source_names.push("S3".to_owned());
+        let patched = ds.with_patches(
+            Arc::new(source_names),
+            Arc::clone(&ds.item_names),
+            ds.values.clone(),
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(patched.num_sources(), 4);
+        assert_eq!(patched.num_claims(), ds.num_claims());
+        let s3 = patched.source_by_name("S3").unwrap();
+        assert!(patched.claims_of(s3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "extend the snapshot's id space")]
+    fn with_patches_rejects_shrunken_tables() {
+        let ds = sample();
+        let _ = ds.with_patches(
+            Arc::new(vec!["S0".to_owned()]),
+            Arc::clone(&ds.item_names),
+            ds.values.clone(),
+            Vec::new(),
+            Vec::new(),
         );
     }
 

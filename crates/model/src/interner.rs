@@ -3,6 +3,7 @@
 use crate::ids::ValueId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Interns value strings so the rest of the system can work with dense
 /// `u32`-backed [`ValueId`]s.
@@ -10,11 +11,18 @@ use std::collections::HashMap;
 /// Interning is append-only: once a string has been assigned an id, the id is
 /// stable for the lifetime of the interner. Lookup is `O(1)` expected in both
 /// directions.
+///
+/// Both the id-ordered string list and the reverse-lookup map live behind
+/// shared [`Arc`] handles: [`Interner::clone`] is two reference-count bumps
+/// regardless of vocabulary size, and [`intern`](Interner::intern) appends
+/// copy-on-write — storage is only deep-copied when a new string arrives
+/// while an older clone is still alive. This is what keeps
+/// `ClaimStore::snapshot()` free of per-value string copies.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Interner {
-    strings: Vec<String>,
+    strings: Arc<Vec<String>>,
     #[serde(skip)]
-    lookup: HashMap<String, ValueId>,
+    lookup: Arc<HashMap<String, ValueId>>,
 }
 
 impl PartialEq for Interner {
@@ -22,7 +30,7 @@ impl PartialEq for Interner {
     /// same ids; the derived reverse-lookup table is ignored (it may be
     /// empty right after deserialization).
     fn eq(&self, other: &Self) -> bool {
-        self.strings == other.strings
+        Arc::ptr_eq(&self.strings, &other.strings) || self.strings == other.strings
     }
 }
 
@@ -39,8 +47,8 @@ impl Interner {
             return id;
         }
         let id = ValueId::from_index(self.strings.len());
-        self.strings.push(s.to_owned());
-        self.lookup.insert(s.to_owned(), id);
+        Arc::make_mut(&mut self.strings).push(s.to_owned());
+        Arc::make_mut(&mut self.lookup).insert(s.to_owned(), id);
         id
     }
 
@@ -72,15 +80,31 @@ impl Interner {
         self.strings.iter().enumerate().map(|(i, s)| (ValueId::from_index(i), s.as_str()))
     }
 
+    /// A zero-copy handle to the id-ordered string list.
+    ///
+    /// The handle aliases the interner's storage: no string is copied. A
+    /// later [`intern`](Interner::intern) of a *new* string clones the list
+    /// copy-on-write, so the handle stays frozen at its snapshot state.
+    pub fn shared_strings(&self) -> Arc<Vec<String>> {
+        Arc::clone(&self.strings)
+    }
+
+    /// Returns `true` if both interners alias the same underlying string
+    /// storage (clone without intervening new-string interns).
+    pub fn ptr_eq(&self, other: &Interner) -> bool {
+        Arc::ptr_eq(&self.strings, &other.strings)
+    }
+
     /// Rebuilds the reverse-lookup table. Needed after deserialization because
     /// the lookup map is not serialized.
     pub fn rebuild_lookup(&mut self) {
-        self.lookup = self
-            .strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.clone(), ValueId::from_index(i)))
-            .collect();
+        self.lookup = Arc::new(
+            self.strings
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.clone(), ValueId::from_index(i)))
+                .collect(),
+        );
     }
 }
 
@@ -126,7 +150,8 @@ mod tests {
         let mut i = Interner::new();
         i.intern("a");
         i.intern("b");
-        let mut copy = Interner { strings: i.strings.clone(), lookup: HashMap::new() };
+        let mut copy =
+            Interner { strings: Arc::clone(&i.strings), lookup: Arc::new(HashMap::new()) };
         assert!(copy.get("a").is_none());
         copy.rebuild_lookup();
         assert_eq!(copy.get("a"), Some(ValueId::new(0)));
@@ -138,5 +163,24 @@ mod tests {
         let i = Interner::new();
         assert!(i.is_empty());
         assert_eq!(i.len(), 0);
+    }
+
+    #[test]
+    fn clones_alias_until_a_new_string_arrives() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let snapshot = i.clone();
+        assert!(snapshot.ptr_eq(&i), "a clone aliases the same storage");
+
+        i.intern("a"); // existing string: no append, still aliased
+        assert!(snapshot.ptr_eq(&i));
+
+        i.intern("c"); // new string: copy-on-write detaches the live interner
+        assert!(!snapshot.ptr_eq(&i));
+        assert_eq!(snapshot.len(), 2, "the clone keeps its frozen view");
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.resolve(ValueId::new(2)), "c");
+        assert!(snapshot.get("c").is_none());
     }
 }

@@ -1,6 +1,7 @@
 //! A first-seen-order name table: strings to dense indices.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Maps names to dense indices in first-seen order.
 ///
@@ -11,9 +12,16 @@ use std::collections::HashMap;
 /// a one-pass builder build. (Unlike [`Interner`](crate::Interner), which is
 /// specialized to [`ValueId`](crate::ValueId)s and serialization, this table
 /// deals in raw indices; callers wrap them in their typed id.)
+///
+/// The index-ordered name list lives behind a shared [`Arc`] handle:
+/// [`shared_names`](NameTable::shared_names) hands it out without copying a
+/// single string, and [`intern`](NameTable::intern) appends copy-on-write —
+/// the list is only deep-copied if a new name arrives *while* an older handle
+/// is still alive. Snapshot cost therefore no longer scales with vocabulary
+/// size.
 #[derive(Debug, Clone, Default)]
 pub struct NameTable {
-    names: Vec<String>,
+    names: Arc<Vec<String>>,
     lookup: HashMap<String, usize>,
 }
 
@@ -30,7 +38,7 @@ impl NameTable {
             return idx;
         }
         let idx = self.names.len();
-        self.names.push(name.to_owned());
+        Arc::make_mut(&mut self.names).push(name.to_owned());
         self.lookup.insert(name.to_owned(), idx);
         idx
     }
@@ -63,9 +71,18 @@ impl NameTable {
         &self.names
     }
 
+    /// A zero-copy handle to the index-ordered name list.
+    ///
+    /// The handle aliases the table's storage: no string is copied. A later
+    /// [`intern`](NameTable::intern) of a *new* name clones the list
+    /// copy-on-write, so the handle stays frozen at its snapshot state.
+    pub fn shared_names(&self) -> Arc<Vec<String>> {
+        Arc::clone(&self.names)
+    }
+
     /// Consumes the table into its index-ordered name list.
     pub fn into_names(self) -> Vec<String> {
-        self.names
+        Arc::try_unwrap(self.names).unwrap_or_else(|shared| (*shared).clone())
     }
 }
 
@@ -86,5 +103,36 @@ mod tests {
         assert_eq!(t.name(0), "a");
         assert_eq!(t.names(), &["a".to_owned(), "b".to_owned()]);
         assert_eq!(t.into_names(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn shared_names_alias_until_a_new_name_arrives() {
+        let mut t = NameTable::new();
+        t.intern("a");
+        t.intern("b");
+        let snap = t.shared_names();
+        assert!(Arc::ptr_eq(&snap, &t.shared_names()), "handles alias the same storage");
+
+        // Re-interning existing names appends nothing: the handle still
+        // aliases the live table.
+        t.intern("a");
+        assert!(Arc::ptr_eq(&snap, &t.shared_names()));
+
+        // A new name clones copy-on-write: the old handle keeps its frozen
+        // two-name view while the table moves on.
+        t.intern("c");
+        assert!(!Arc::ptr_eq(&snap, &t.shared_names()));
+        assert_eq!(snap.len(), 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.name(2), "c");
+    }
+
+    #[test]
+    fn into_names_avoids_cloning_when_unique() {
+        let mut t = NameTable::new();
+        t.intern("x");
+        let held = t.shared_names();
+        assert_eq!(t.into_names(), vec!["x".to_owned()], "clone path (handle held)");
+        assert_eq!(held.as_slice(), &["x".to_owned()]);
     }
 }

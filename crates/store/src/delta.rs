@@ -29,6 +29,14 @@ impl DeltaTracker {
         self.baseline.len()
     }
 
+    /// The `(source, item)` slots written since the last snapshot, in
+    /// arbitrary order. This is the patch set of the O(delta) snapshot path:
+    /// exactly the sources/items whose merged claim lists or value groups can
+    /// differ from the previous snapshot.
+    pub fn touched(&self) -> impl Iterator<Item = (SourceId, ItemId)> + '_ {
+        self.baseline.keys().copied()
+    }
+
     /// Drains the tracker into a [`DatasetDelta`], resolving every touched
     /// claim's current value through `current`.
     pub fn drain_into_delta(

@@ -22,7 +22,13 @@
 //!   builder and fusion loop runs on it unchanged. From the second snapshot
 //!   on it also carries the
 //!   [`DatasetDelta`](copydet_model::DatasetDelta) against the previous
-//!   snapshot.
+//!   snapshot. Snapshots are **zero-copy in the corpus**: name tables and
+//!   interner are shared `Arc` handles and consecutive snapshots alias every
+//!   untouched claim list and value group, so snapshot cost is O(delta).
+//! * **[`SharedClaimStore`]** — a cloneable thread-safe handle: writers
+//!   stream claims, a background thread seals/compacts, and a reader
+//!   snapshots + detects concurrently (the detection round runs entirely
+//!   outside the store lock).
 //! * **Incremental index maintenance** — the store maintains the pairwise
 //!   shared-item counts `l(S1, S2)` at ingest time, so
 //!   [`build_index`](ClaimStore::build_index) skips the counting pass of a
@@ -62,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod concurrent;
 mod delta;
 mod live;
 mod segment;
@@ -69,6 +76,7 @@ mod snapshot;
 mod stats;
 mod store;
 
+pub use concurrent::SharedClaimStore;
 pub use live::{LiveConfig, LiveDetector};
 pub use segment::{GrowingSegment, SealedSegment};
 pub use snapshot::StoreSnapshot;

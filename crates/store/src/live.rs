@@ -1,10 +1,11 @@
 //! The live detection pipeline: store snapshots in, copy decisions out.
 
+use crate::concurrent::SharedClaimStore;
 use crate::snapshot::StoreSnapshot;
 use copydet_bayes::{CopyParams, SourceAccuracies, ValueProbabilities};
 use copydet_detect::{
     CopyDetector, DetectionResult, IncrementalConfig, IncrementalDetector, IncrementalRoundStats,
-    RoundInput,
+    OwnedRoundInput,
 };
 use copydet_fusion::{value_probabilities, VoteConfig};
 
@@ -94,12 +95,44 @@ impl LiveDetector {
         self.last_epoch = Some(snapshot.epoch);
         let (accuracies, probabilities) = self.bootstrap_state(snapshot);
         self.round += 1;
-        let mut input =
-            RoundInput::new(&snapshot.dataset, &accuracies, &probabilities, self.config.params);
+        let mut input = copydet_detect::RoundInput::new(
+            &snapshot.dataset,
+            &accuracies,
+            &probabilities,
+            self.config.params,
+        );
         if let Some(delta) = &snapshot.delta {
             input = input.with_delta(delta);
         }
         self.detector.detect_round(&input, self.round)
+    }
+
+    /// One round against the *current* state of a shared store: takes the
+    /// snapshot under the store lock (O(delta)), then runs detection entirely
+    /// outside it — writers keep ingesting, and a maintenance thread keeps
+    /// sealing/compacting, while the round computes over the frozen snapshot.
+    ///
+    /// The same consecutive-epoch contract as [`observe`](Self::observe)
+    /// applies: this detector must be the only snapshot-taker of the store.
+    pub fn observe_shared(&mut self, store: &SharedClaimStore) -> DetectionResult {
+        let snapshot = store.snapshot();
+        self.observe(&snapshot)
+    }
+
+    /// Assembles the owned round input for a snapshot: the bootstrap
+    /// accuracy/probability state plus cheap handles to the snapshot's
+    /// dataset and delta. The result is self-contained (no borrow of the
+    /// snapshot or the store), so it can cross a thread boundary and be
+    /// detected while the store moves on.
+    pub fn prepare(&self, snapshot: &StoreSnapshot) -> OwnedRoundInput {
+        let (accuracies, probabilities) = self.bootstrap_state(snapshot);
+        OwnedRoundInput {
+            dataset: snapshot.dataset.clone(),
+            accuracies,
+            probabilities,
+            params: self.config.params,
+            delta: snapshot.delta.clone(),
+        }
     }
 
     /// The bootstrap detection state the pipeline uses for a snapshot:

@@ -10,6 +10,7 @@
 
 use copydet_model::{ItemId, SourceId, ValueId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The mutable ingest segment: a per-source `item → value` map.
 ///
@@ -66,64 +67,91 @@ impl GrowingSegment {
         self.num_claims == 0
     }
 
+    /// The segment's claims of `source`, sorted by item (empty if the source
+    /// has not written into this segment). Used by the O(delta) snapshot path
+    /// to re-merge a single touched source without freezing the whole
+    /// segment.
+    pub fn sorted_claims_of(&self, source: SourceId) -> Vec<(ItemId, ValueId)> {
+        self.claims.get(source.index()).map(sorted_list).unwrap_or_default()
+    }
+
     /// Freezes the segment into an immutable [`SealedSegment`].
     pub fn freeze(self) -> SealedSegment {
-        let mut claims: Vec<(SourceId, Vec<(ItemId, ValueId)>)> = Vec::new();
-        for (s, map) in self.claims.into_iter().enumerate() {
-            if map.is_empty() {
-                continue;
-            }
-            let mut list: Vec<(ItemId, ValueId)> = map.into_iter().collect();
-            list.sort_unstable_by_key(|&(d, _)| d);
-            claims.push((SourceId::from_index(s), list));
-        }
-        SealedSegment { claims, num_claims: self.num_claims }
+        self.freeze_ref()
     }
 
     /// A sealed view of the segment's current contents, without consuming
     /// (or cloning the hash maps of) the segment.
     ///
-    /// This keeps `snapshot()` cheap: the claim pairs are copied directly
-    /// into sorted lists, while the growing segment stays open for further
-    /// ingest.
+    /// This keeps the first (full-assembly) `snapshot()` cheap: the claim
+    /// pairs are copied directly into sorted lists, while the growing segment
+    /// stays open for further ingest.
     pub fn freeze_ref(&self) -> SealedSegment {
-        let mut claims: Vec<(SourceId, Vec<(ItemId, ValueId)>)> = Vec::new();
-        for (s, map) in self.claims.iter().enumerate() {
-            if map.is_empty() {
-                continue;
-            }
-            let mut list: Vec<(ItemId, ValueId)> = map.iter().map(|(&d, &v)| (d, v)).collect();
-            list.sort_unstable_by_key(|&(d, _)| d);
-            claims.push((SourceId::from_index(s), list));
-        }
-        SealedSegment { claims, num_claims: self.num_claims }
+        let claims: Vec<(SourceId, Vec<(ItemId, ValueId)>)> = self
+            .claims
+            .iter()
+            .enumerate()
+            .filter(|(_, map)| !map.is_empty())
+            .map(|(s, map)| (SourceId::from_index(s), sorted_list(map)))
+            .collect();
+        SealedSegment::from_parts(claims, self.num_claims)
     }
+}
+
+/// The single map → item-sorted-claim-list normalization shared by
+/// [`GrowingSegment::freeze`], [`GrowingSegment::freeze_ref`] and
+/// [`GrowingSegment::sorted_claims_of`].
+fn sorted_list(map: &HashMap<ItemId, ValueId>) -> Vec<(ItemId, ValueId)> {
+    let mut list: Vec<(ItemId, ValueId)> = map.iter().map(|(&d, &v)| (d, v)).collect();
+    list.sort_unstable_by_key(|&(d, _)| d);
+    list
 }
 
 /// An immutable segment: per-source claim lists sorted by item, listed in
 /// increasing source id (only sources with claims appear).
+///
+/// The claim storage sits behind a shared [`Arc`]: cloning a sealed segment
+/// is a reference-count bump, so store snapshots (and store clones) alias
+/// sealed data instead of materializing it. Compaction builds *new* merged
+/// segments and never mutates existing ones — a handle taken before a
+/// compaction keeps observing exactly the claims it was taken over.
 #[derive(Debug, Clone)]
 pub struct SealedSegment {
+    inner: Arc<SealedInner>,
+}
+
+#[derive(Debug)]
+struct SealedInner {
     claims: Vec<(SourceId, Vec<(ItemId, ValueId)>)>,
     num_claims: usize,
 }
 
 impl SealedSegment {
+    fn from_parts(claims: Vec<(SourceId, Vec<(ItemId, ValueId)>)>, num_claims: usize) -> Self {
+        Self { inner: Arc::new(SealedInner { claims, num_claims }) }
+    }
+
     /// Number of claims in the segment.
     pub fn num_claims(&self) -> usize {
-        self.num_claims
+        self.inner.num_claims
     }
 
     /// Number of sources with at least one claim in the segment.
     pub fn num_sources(&self) -> usize {
-        self.claims.len()
+        self.inner.claims.len()
+    }
+
+    /// Returns `true` if both handles alias the same sealed storage.
+    pub fn ptr_eq(&self, other: &SealedSegment) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// The segment's claim list for `source`, sorted by item.
     pub fn claims_of(&self, source: SourceId) -> &[(ItemId, ValueId)] {
-        self.claims
+        self.inner
+            .claims
             .binary_search_by_key(&source, |&(s, _)| s)
-            .map(|i| self.claims[i].1.as_slice())
+            .map(|i| self.inner.claims[i].1.as_slice())
             .unwrap_or(&[])
     }
 
@@ -135,37 +163,36 @@ impl SealedSegment {
 
     /// Iterates over `(source, claims)` in increasing source id.
     pub fn per_source(&self) -> impl Iterator<Item = (SourceId, &[(ItemId, ValueId)])> + '_ {
-        self.claims.iter().map(|(s, list)| (*s, list.as_slice()))
+        self.inner.claims.iter().map(|(s, list)| (*s, list.as_slice()))
     }
 
     /// Merges two sealed segments into one; where both hold a claim for the
-    /// same `(source, item)`, `newer` wins.
+    /// same `(source, item)`, `newer` wins. The inputs are untouched (any
+    /// snapshot aliasing them keeps its view).
     pub fn merge(older: &SealedSegment, newer: &SealedSegment) -> SealedSegment {
+        let (oc, nc) = (&older.inner.claims, &newer.inner.claims);
         let mut claims: Vec<(SourceId, Vec<(ItemId, ValueId)>)> = Vec::new();
         let (mut i, mut j) = (0, 0);
-        while i < older.claims.len() || j < newer.claims.len() {
-            let take_older = match (older.claims.get(i), newer.claims.get(j)) {
+        while i < oc.len() || j < nc.len() {
+            let take_older = match (oc.get(i), nc.get(j)) {
                 (Some((a, _)), Some((b, _))) => a < b,
                 (Some(_), None) => true,
                 _ => false,
             };
             if take_older {
-                claims.push(older.claims[i].clone());
+                claims.push(oc[i].clone());
                 i += 1;
-            } else if i < older.claims.len() && older.claims[i].0 == newer.claims[j].0 {
-                claims.push((
-                    newer.claims[j].0,
-                    merge_sorted(&older.claims[i].1, &newer.claims[j].1),
-                ));
+            } else if i < oc.len() && oc[i].0 == nc[j].0 {
+                claims.push((nc[j].0, merge_sorted(&oc[i].1, &nc[j].1)));
                 i += 1;
                 j += 1;
             } else {
-                claims.push(newer.claims[j].clone());
+                claims.push(nc[j].clone());
                 j += 1;
             }
         }
         let num_claims = claims.iter().map(|(_, l)| l.len()).sum();
-        SealedSegment { claims, num_claims }
+        SealedSegment::from_parts(claims, num_claims)
     }
 }
 
@@ -271,6 +298,33 @@ mod tests {
         assert_eq!(merged.claims_of(s(2)), &[(d(0), v(2)), (d(2), v(5))]);
         let order: Vec<SourceId> = merged.per_source().map(|(s, _)| s).collect();
         assert_eq!(order, vec![s(0), s(1), s(2)]);
+    }
+
+    #[test]
+    fn sealed_clones_alias_storage() {
+        let mut g = GrowingSegment::new();
+        g.insert(s(0), d(0), v(0));
+        g.insert(s(1), d(1), v(1));
+        let sealed = g.freeze();
+        let alias = sealed.clone();
+        assert!(alias.ptr_eq(&sealed), "cloning a sealed segment copies no claims");
+        // Merging produces a fresh segment; the inputs keep their identity.
+        let merged = SealedSegment::merge(&sealed, &alias);
+        assert!(!merged.ptr_eq(&sealed));
+        assert_eq!(merged.num_claims(), 2);
+        assert_eq!(sealed.num_claims(), 2);
+    }
+
+    #[test]
+    fn growing_sorted_claims_of_single_source() {
+        let mut g = GrowingSegment::new();
+        g.insert(s(1), d(2), v(0));
+        g.insert(s(1), d(0), v(1));
+        g.insert(s(3), d(1), v(2));
+        assert_eq!(g.sorted_claims_of(s(1)), vec![(d(0), v(1)), (d(2), v(0))]);
+        assert_eq!(g.sorted_claims_of(s(3)), vec![(d(1), v(2))]);
+        assert!(g.sorted_claims_of(s(0)).is_empty());
+        assert!(g.sorted_claims_of(s(9)).is_empty(), "beyond the segment's source range");
     }
 
     #[test]

@@ -6,7 +6,11 @@ use crate::snapshot::StoreSnapshot;
 use crate::stats::StoreStats;
 use copydet_bayes::{CopyParams, SourceAccuracies, ValueProbabilities};
 use copydet_index::{InvertedIndex, SharedItemCounts};
-use copydet_model::{Claim, Dataset, Interner, ItemId, NameTable, SourceId, ValueId};
+use copydet_model::{
+    Claim, Dataset, Interner, ItemId, ItemValueGroup, NameTable, SourceId, ValueId,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Configuration of a [`ClaimStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,10 +37,20 @@ pub struct StoreConfig {
 /// carries the [`DatasetDelta`](copydet_model::DatasetDelta) against the
 /// previous snapshot, which feeds delta-driven incremental detection.
 ///
+/// Snapshots are **zero-copy in the corpus**: the name tables and value
+/// interner are handed out as shared `Arc` handles (copy-on-write inside the
+/// store, so a held snapshot never observes later interns), and from the
+/// second snapshot on the dataset is *patched* from its predecessor — only
+/// the claim lists of touched sources and the value groups of touched items
+/// are rebuilt, everything else aliases the previous snapshot's storage.
+/// Snapshot cost is therefore O(delta), not O(corpus).
+///
 /// The store additionally maintains the pairwise shared-item counts
-/// `l(S1, S2)` *incrementally at ingest time*, so building an inverted index
-/// over a snapshot ([`build_index`](Self::build_index)) skips the counting
-/// pass that dominates index construction on provider-dense datasets.
+/// `l(S1, S2)` *incrementally at ingest time* behind a shared handle, so
+/// building an inverted index over a snapshot
+/// ([`build_index`](Self::build_index)) skips both the counting pass and the
+/// `O(|S|²)` table copy that dominate index construction on provider-dense
+/// datasets.
 #[derive(Debug, Clone)]
 pub struct ClaimStore {
     sources: NameTable,
@@ -47,8 +61,11 @@ pub struct ClaimStore {
     /// Sources providing each item (any value), kept sorted — the substrate
     /// for incremental shared-item counting.
     item_providers: Vec<Vec<SourceId>>,
-    shared: SharedItemCounts,
+    shared: Arc<SharedItemCounts>,
     tracker: DeltaTracker,
+    /// The previous snapshot's dataset (cheap handle), the base the next
+    /// snapshot is patched from.
+    last_snapshot: Option<Dataset>,
     epoch: u64,
     config: StoreConfig,
     num_live_claims: usize,
@@ -78,8 +95,9 @@ impl ClaimStore {
             sealed: Vec::new(),
             growing: GrowingSegment::new(),
             item_providers: Vec::new(),
-            shared: SharedItemCounts::build(&empty),
+            shared: Arc::new(SharedItemCounts::build(&empty)),
             tracker: DeltaTracker::default(),
+            last_snapshot: None,
             epoch: 0,
             config,
             num_live_claims: 0,
@@ -138,11 +156,14 @@ impl ClaimStore {
         if old.is_none() {
             // A brand-new (source, item) claim: update the live claim count
             // and the shared-item counts against the item's other providers.
+            // Copy-on-write: an index built over the handle keeps its frozen
+            // counts.
             self.num_live_claims += 1;
-            self.shared.grow(self.sources.len());
+            let shared = Arc::make_mut(&mut self.shared);
+            shared.grow(self.sources.len());
             let providers = &mut self.item_providers[item.index()];
             for &t in providers.iter() {
-                self.shared.increment(copydet_model::SourcePair::new(source, t), 1);
+                shared.increment(copydet_model::SourcePair::new(source, t), 1);
             }
             let pos = providers.binary_search(&source).unwrap_err();
             providers.insert(pos, source);
@@ -200,28 +221,67 @@ impl ClaimStore {
     /// sequence) plus, from the second snapshot on, the delta against the
     /// previous snapshot.
     ///
+    /// The first snapshot assembles the dataset in full; every later snapshot
+    /// is **patched** from its predecessor in O(delta): only the claim lists
+    /// of sources and the value groups of items written since the previous
+    /// snapshot are rebuilt, while the name tables, the value interner and
+    /// every untouched list alias the shared storage (no string or claim is
+    /// copied — pointer-provable via
+    /// [`Dataset::shared_source_names`] and friends).
+    ///
     /// Snapshotting does not seal or otherwise disturb the segments; ingest
-    /// can continue afterwards.
+    /// can continue afterwards, and snapshots taken earlier keep observing
+    /// exactly the claims they were taken over regardless of later ingest,
+    /// sealing or compaction.
     pub fn snapshot(&mut self) -> StoreSnapshot {
-        // Merge per-source claim lists across segments, oldest to newest
-        // (the growing segment, frozen into a view, is simply the newest).
-        let mut claims: Vec<Vec<(ItemId, ValueId)>> = vec![Vec::new(); self.sources.len()];
-        let frozen = (!self.growing.is_empty()).then(|| self.growing.freeze_ref());
-        for seg in self.sealed.iter().chain(frozen.iter()) {
-            for (s, list) in seg.per_source() {
-                let slot = &mut claims[s.index()];
-                if slot.is_empty() {
-                    slot.extend_from_slice(list);
-                } else {
-                    *slot = merge_sorted(slot, list);
+        let dataset = match &self.last_snapshot {
+            Some(prev) => {
+                let mut touched_sources: BTreeSet<SourceId> = BTreeSet::new();
+                let mut touched_items: BTreeSet<ItemId> = BTreeSet::new();
+                for (s, d) in self.tracker.touched() {
+                    touched_sources.insert(s);
+                    touched_items.insert(d);
                 }
+                let patched_sources: Vec<(SourceId, Vec<(ItemId, ValueId)>)> =
+                    touched_sources.into_iter().map(|s| (s, self.merged_claims_of(s))).collect();
+                let patched_items: Vec<(ItemId, Vec<ItemValueGroup>)> =
+                    touched_items.into_iter().map(|d| (d, self.rebuild_groups_of(d))).collect();
+                prev.with_patches(
+                    self.sources.shared_names(),
+                    self.items.shared_names(),
+                    self.values.clone(),
+                    patched_sources,
+                    patched_items,
+                )
             }
-        }
-        let dataset = Dataset::from_sorted_claims(
-            self.sources.names().to_vec(),
-            self.items.names().to_vec(),
-            self.values.clone(),
-            claims,
+            None => {
+                // First snapshot: merge per-source claim lists across
+                // segments, oldest to newest (the growing segment, frozen
+                // into a view, is simply the newest).
+                let mut claims: Vec<Vec<(ItemId, ValueId)>> = vec![Vec::new(); self.sources.len()];
+                let frozen = (!self.growing.is_empty()).then(|| self.growing.freeze_ref());
+                for seg in self.sealed.iter().chain(frozen.iter()) {
+                    for (s, list) in seg.per_source() {
+                        let slot = &mut claims[s.index()];
+                        if slot.is_empty() {
+                            slot.extend_from_slice(list);
+                        } else {
+                            *slot = merge_sorted(slot, list);
+                        }
+                    }
+                }
+                Dataset::from_shared_claims(
+                    self.sources.shared_names(),
+                    self.items.shared_names(),
+                    self.values.clone(),
+                    claims,
+                )
+            }
+        };
+        debug_assert_eq!(
+            dataset.num_claims(),
+            self.num_live_claims,
+            "patched snapshot must cover every live claim"
         );
         let delta = if self.epoch == 0 {
             self.tracker = DeltaTracker::default();
@@ -234,13 +294,51 @@ impl ClaimStore {
             }))
         };
         self.epoch += 1;
+        self.last_snapshot = Some(dataset.clone());
         StoreSnapshot { epoch: self.epoch, dataset, delta }
+    }
+
+    /// The merged (newest-wins) claim list of one source across all
+    /// segments — the per-source unit of the O(delta) snapshot path.
+    fn merged_claims_of(&self, s: SourceId) -> Vec<(ItemId, ValueId)> {
+        let mut list: Vec<(ItemId, ValueId)> = Vec::new();
+        for seg in &self.sealed {
+            let seg_list = seg.claims_of(s);
+            if !seg_list.is_empty() {
+                list =
+                    if list.is_empty() { seg_list.to_vec() } else { merge_sorted(&list, seg_list) };
+            }
+        }
+        let grown = self.growing.sorted_claims_of(s);
+        if !grown.is_empty() {
+            list = if list.is_empty() { grown } else { merge_sorted(&list, &grown) };
+        }
+        list
+    }
+
+    /// Rebuilds one item's value groups from the merged view, with exactly
+    /// the builder normalization (groups sorted by value, providers sorted by
+    /// id — `item_providers` is maintained sorted, so providers arrive in
+    /// order).
+    fn rebuild_groups_of(&self, d: ItemId) -> Vec<ItemValueGroup> {
+        let mut by_value: std::collections::BTreeMap<ValueId, Vec<SourceId>> =
+            std::collections::BTreeMap::new();
+        for &s in &self.item_providers[d.index()] {
+            let v = self.merged_value(s, d).expect("a listed provider has a claim");
+            by_value.entry(v).or_default().push(s);
+        }
+        by_value
+            .into_iter()
+            .map(|(value, providers)| ItemValueGroup { item: d, value, providers })
+            .collect()
     }
 
     /// Builds the inverted index for the *latest* snapshot using the store's
     /// incrementally-maintained shared-item counts, skipping the
     /// `O(Σ providers²)` counting pass of a cold
-    /// [`InvertedIndex::build`].
+    /// [`InvertedIndex::build`]. The counts are passed as a shared handle —
+    /// the `O(|S|²)` table is aliased, not copied (later ingest detaches the
+    /// store's handle copy-on-write).
     ///
     /// # Panics
     /// Panics if `snapshot` is not the store's latest snapshot or claims were
@@ -260,7 +358,7 @@ impl ClaimStore {
         );
         InvertedIndex::build_from_groups(
             snapshot.dataset.groups(),
-            self.shared.clone(),
+            Arc::clone(&self.shared),
             accuracies,
             probabilities,
             params,
@@ -270,6 +368,13 @@ impl ClaimStore {
     /// The incrementally-maintained shared-item counts `l(S1, S2)` over the
     /// current merged view.
     pub fn shared_item_counts(&self) -> &SharedItemCounts {
+        &self.shared
+    }
+
+    /// The shared handle to the incrementally-maintained counts table.
+    /// Exposed so zero-copy behaviour can be asserted via
+    /// [`Arc::strong_count`] / [`Arc::ptr_eq`].
+    pub fn shared_item_counts_handle(&self) -> &Arc<SharedItemCounts> {
         &self.shared
     }
 

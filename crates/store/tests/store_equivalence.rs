@@ -133,6 +133,76 @@ proptest! {
         prop_assert_eq!(&snap.dataset, &batch);
     }
 
+    /// A snapshot held across later ingest/seal/compact/snapshot stays
+    /// bit-identical to the one-pass build over its prefix: the zero-copy
+    /// aliasing of sealed segments and shared tables must never leak a later
+    /// mutation into a handed-out snapshot.
+    #[test]
+    fn held_snapshot_survives_later_mutation(claims in workload_strategy()) {
+        if claims.len() < 2 {
+            return Ok(());
+        }
+        let (first, rest) = claims.split_at(claims.len() / 2);
+        let mut store = streamed_store(first);
+        let held = store.snapshot();
+        // Keep mutating: ingest, seal, compact, snapshot — per the op stream,
+        // then force a final seal + full compaction.
+        for (s, d, v, op) in rest {
+            store.ingest(&format!("S{s}"), &format!("D{d}"), &format!("v{v}"));
+            match op {
+                1 => store.seal(),
+                2 => {
+                    store.seal();
+                    store.compact();
+                }
+                3 => {
+                    let _ = store.snapshot();
+                }
+                _ => {}
+            }
+        }
+        store.seal();
+        store.compact();
+        let final_snap = store.snapshot();
+        // The held snapshot still equals an independent from-scratch build of
+        // its own prefix…
+        prop_assert_eq!(&held.dataset, &batch_dataset(first));
+        // …and the post-compaction snapshot equals the build of everything.
+        prop_assert_eq!(&final_snap.dataset, &batch_dataset(&claims));
+    }
+
+    /// Every snapshot taken along an arbitrary interleaving, *held until the
+    /// end*, equals the one-pass build of its ingest prefix even after all
+    /// later mutations and compactions.
+    #[test]
+    fn every_held_snapshot_stays_prefix_identical(claims in workload_strategy()) {
+        let mut store = ClaimStore::new();
+        let mut held: Vec<(usize, copydet_store::StoreSnapshot)> = Vec::new();
+        for (i, (s, d, v, op)) in claims.iter().enumerate() {
+            store.ingest(&format!("S{s}"), &format!("D{d}"), &format!("v{v}"));
+            match op {
+                1 => store.seal(),
+                2 => {
+                    store.seal();
+                    store.compact();
+                }
+                3 => held.push((i + 1, store.snapshot())),
+                _ => {}
+            }
+        }
+        store.seal();
+        store.compact();
+        held.push((claims.len(), store.snapshot()));
+        for (prefix, snap) in &held {
+            prop_assert_eq!(
+                &snap.dataset,
+                &batch_dataset(&claims[..*prefix]),
+                "snapshot over the first {} claims diverged after later mutations",
+                prefix
+            );
+        }
+    }
+
     /// Consecutive snapshots carry a delta equal to the snapshot diff.
     #[test]
     fn tracked_delta_equals_snapshot_diff(claims in workload_strategy()) {

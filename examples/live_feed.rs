@@ -2,6 +2,12 @@
 //! batches; after every batch a snapshot + delta drives incremental copy
 //! detection, so only the pairs affected by the new claims are re-decided.
 //!
+//! The store is driven through its concurrent handle: batches are ingested
+//! by writer threads while a background maintenance thread seals and
+//! compacts segments off the ingest path, and each detection round runs
+//! entirely outside the store lock on a zero-copy snapshot (so later ingest
+//! never blocks on — or leaks into — a running round).
+//!
 //! The stream replays a Book-CS-shaped synthetic workload (so the planted
 //! copier cliques are known), then injects a fresh copier mid-stream to show
 //! it being caught within one batch of its arrival.
@@ -10,6 +16,7 @@
 
 use copydetect::prelude::*;
 use copydetect::synth;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn main() {
     let workload = synth::presets::book_cs(0.2, 20_260_728);
@@ -26,13 +33,10 @@ fn main() {
         workload.gold.copies.len(),
     );
 
-    let mut store = ClaimStore::with_config(StoreConfig {
-        seal_threshold: Some(4096),
-        max_sealed_segments: Some(4),
-    });
+    let store = SharedClaimStore::new();
     let mut live = LiveDetector::new();
 
-    let observe = |live: &mut LiveDetector, store: &mut ClaimStore, label: &str| {
+    let observe = |live: &mut LiveDetector, store: &SharedClaimStore, label: &str| {
         let segments = store.stats().sealed_segments;
         let snapshot = store.snapshot();
         let result = live.observe(&snapshot);
@@ -64,44 +68,73 @@ fn main() {
         "\n{:>5}  {:>7}  {:>9}  {:>7}  {:>9}  {:>8}  {:>7}",
         "batch", "claims", "pairs", "redone", "computns", "copying", "segs"
     );
-    for (s, d, v) in head {
-        store.ingest(s, d, v);
-    }
-    let (snap0, first) = observe(&mut live, &mut store, "0");
-    let donor = first.copying_pairs().next().map(|p| p.first()).unwrap_or_else(|| SourceId::new(0));
-    let donor_name = snap0.dataset.source_name(donor).to_owned();
-    let donor_claims: Vec<(String, String)> = snap0
-        .dataset
-        .claims_of(donor)
-        .iter()
-        .take(40)
-        .map(|&(d, v)| {
-            (snap0.dataset.item_name(d).to_owned(), snap0.dataset.value_str(v).to_owned())
-        })
-        .collect();
 
-    for (i, batch) in tail.chunks(batch_len).enumerate() {
-        for (s, d, v) in batch {
+    let stop_maintenance = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Segment maintenance runs in the background for the whole stream:
+        // sealing and compaction are paid off the ingest path, and snapshots
+        // held by the detector are immune to both (sealed segments are
+        // immutable and Arc-shared).
+        let maintainer = store.clone();
+        let stop = &stop_maintenance;
+        scope.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if !maintainer.maintenance_tick(512, 4) {
+                    // Nothing was due: back off instead of contending with
+                    // the writers for the store lock.
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            }
+        });
+
+        for (s, d, v) in head {
             store.ingest(s, d, v);
         }
-        if i == 3 {
-            // A brand-new source starts republishing the donor's values.
-            for (item, value) in &donor_claims {
-                store.ingest("rogue-mirror", item, value);
+        let (snap0, first) = observe(&mut live, &store, "0");
+        let donor =
+            first.copying_pairs().next().map(|p| p.first()).unwrap_or_else(|| SourceId::new(0));
+        let donor_name = snap0.dataset.source_name(donor).to_owned();
+        let donor_claims: Vec<(String, String)> = snap0
+            .dataset
+            .claims_of(donor)
+            .iter()
+            .take(40)
+            .map(|&(d, v)| {
+                (snap0.dataset.item_name(d).to_owned(), snap0.dataset.value_str(v).to_owned())
+            })
+            .collect();
+
+        for (i, batch) in tail.chunks(batch_len).enumerate() {
+            // Each batch streams in on its own writer thread (joined before
+            // the snapshot so the per-batch numbers stay deterministic).
+            let writer = store.clone();
+            scope
+                .spawn(move || {
+                    for (s, d, v) in batch {
+                        writer.ingest(s, d, v);
+                    }
+                })
+                .join()
+                .expect("writer thread panicked");
+            if i == 3 {
+                // A brand-new source starts republishing the donor's values.
+                for (item, value) in &donor_claims {
+                    store.ingest("rogue-mirror", item, value);
+                }
+                println!(
+                    "        ... rogue-mirror starts copying {donor_name} ({} claims)",
+                    donor_claims.len()
+                );
             }
-            println!(
-                "        ... rogue-mirror starts copying {donor_name} ({} claims)",
-                donor_claims.len()
-            );
-        }
-        store.seal();
-        let (snapshot, result) = observe(&mut live, &mut store, &format!("{}", i + 1));
-        if let Some(rogue) = snapshot.dataset.source_by_name("rogue-mirror") {
-            if result.copying_pairs().any(|p| p.contains(rogue)) {
-                println!("        ... rogue-mirror caught copying");
+            let (snapshot, result) = observe(&mut live, &store, &format!("{}", i + 1));
+            if let Some(rogue) = snapshot.dataset.source_by_name("rogue-mirror") {
+                if result.copying_pairs().any(|p| p.contains(rogue)) {
+                    println!("        ... rogue-mirror caught copying");
+                }
             }
         }
-    }
+        stop_maintenance.store(true, Ordering::Relaxed);
+    });
 
     store.compact();
     println!("\nFinal store state: {}", store.stats());

@@ -80,12 +80,15 @@ pub mod prelude {
     };
     pub use copydet_detect::{
         BoundDetector, CopyDetector, DetectionResult, HybridDetector, IncrementalDetector,
-        IndexDetector, PairwiseDetector, RoundInput, SampledDetector, SamplingStrategy,
+        IndexDetector, OwnedRoundInput, PairwiseDetector, RoundInput, SampledDetector,
+        SamplingStrategy,
     };
     pub use copydet_fusion::{accu_fusion, naive_vote, AccuCopy, FusionConfig, FusionOutcome};
     pub use copydet_index::{EntryOrdering, InvertedIndex};
     pub use copydet_model::{
         Dataset, DatasetBuilder, DatasetDelta, ItemId, SourceId, SourcePair, ValueId,
     };
-    pub use copydet_store::{ClaimStore, LiveDetector, StoreConfig, StoreSnapshot};
+    pub use copydet_store::{
+        ClaimStore, LiveDetector, SharedClaimStore, StoreConfig, StoreSnapshot,
+    };
 }
