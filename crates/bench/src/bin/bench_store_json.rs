@@ -5,7 +5,9 @@
 //! * ingest throughput (claims/s into a fresh store),
 //! * snapshot latency vs. a from-scratch `DatasetBuilder` rebuild,
 //! * warm (store-maintained shared counts) vs. cold inverted-index build,
-//! * delta-round vs. from-scratch detection computations for a 1% delta.
+//! * delta-round vs. from-scratch detection computations for a 1% delta,
+//! * durability: write-ahead ingest throughput (`wal_append`) and the time
+//!   to recover a store from disk (`recover_time`) vs. re-ingesting it.
 //!
 //! Run with: `cargo run --release -p copydet-bench --bin bench_store_json`
 
@@ -148,6 +150,48 @@ fn main() {
             .detect_round(&RoundInput::new(&snap2.dataset, &accuracies, &probabilities, params), 1);
         let scratch_s = scratch_start.elapsed().as_secs_f64();
 
+        // Durability: write-ahead ingest throughput and recovery latency.
+        let dir = std::env::temp_dir().join(format!(
+            "copydet_bench_store_{}_{}",
+            std::process::id(),
+            synth.name
+        ));
+        let wal_append_s = median_secs(
+            (0..3)
+                .map(|_| {
+                    let _ = std::fs::remove_dir_all(&dir);
+                    let mut durable = ClaimStore::open(&dir).expect("open durable store");
+                    let start = Instant::now();
+                    for (s, d, v) in &claims {
+                        durable.ingest(s, d, v);
+                    }
+                    durable.sync().expect("flush WAL");
+                    start.elapsed().as_secs_f64()
+                })
+                .collect(),
+        );
+        // Recover from a realistic shape: most claims in a committed
+        // segment, the last ~10% still in the write-ahead log.
+        {
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut durable = ClaimStore::open(&dir).expect("open durable store");
+            let split = n - n / 10;
+            for (s, d, v) in &claims[..split] {
+                durable.ingest(s, d, v);
+            }
+            durable.seal();
+            for (s, d, v) in &claims[split..] {
+                durable.ingest(s, d, v);
+            }
+            durable.sync().expect("flush WAL");
+        }
+        let recover_s = time_n(3, || {
+            let mut recovered = ClaimStore::open(&dir).expect("recover store");
+            assert_eq!(recovered.num_claims(), store.num_claims());
+            assert_eq!(recovered.snapshot().dataset.num_claims(), store.num_claims());
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+
         let mut e = String::new();
         let _ = write!(
             e,
@@ -170,7 +214,12 @@ fn main() {
                 "      \"delta_pair_finalizations\": {},\n",
                 "      \"from_scratch_pair_finalizations\": {},\n",
                 "      \"delta_computations\": {},\n",
-                "      \"from_scratch_computations\": {}\n",
+                "      \"from_scratch_computations\": {},\n",
+                "      \"durability\": {{\n",
+                "        \"wal_append_claims_per_s\": {:.0},\n",
+                "        \"recover_s\": {:.6},\n",
+                "        \"recover_claims_per_s\": {:.0}\n",
+                "      }}\n",
                 "    }}"
             ),
             synth.name,
@@ -189,6 +238,9 @@ fn main() {
             scratch.counter.pair_finalizations,
             delta_result.computations(),
             scratch.computations(),
+            n as f64 / wal_append_s,
+            recover_s,
+            n as f64 / recover_s,
         );
         entries.push(e);
     }

@@ -1,0 +1,295 @@
+//! Stable binary serialization of interned claims and the primitives the
+//! on-disk store formats are built from.
+//!
+//! Everything is little-endian and length-prefixed:
+//!
+//! * integers — fixed-width `u8` / `u32` / `u64`,
+//! * strings — `u32` byte length followed by UTF-8 bytes (bounded by
+//!   [`MAX_STR_LEN`] so a corrupted length can never drive an absurd
+//!   allocation),
+//! * claims — the three raw `u32` ids in `(source, item, value)` order.
+//!
+//! The claim encoding is **stable**: it is defined purely in terms of the
+//! dense id values, which [`NameTable`](crate::NameTable) / [`Interner`]
+//! assign in first-seen order. Two stores fed the same claim stream produce
+//! byte-identical encodings, and a store recovered from disk re-interns its
+//! persisted name tables in index order so every persisted id resolves to
+//! the same string it was written with.
+//!
+//! Decoding is total: any byte slice either decodes or returns a typed
+//! [`CodecError`] — never a panic — which is what lets the store treat
+//! arbitrary on-disk bytes as untrusted input.
+//!
+//! [`Interner`]: crate::Interner
+
+use crate::ids::{ItemId, SourceId, ValueId};
+use crate::observation::Claim;
+use std::fmt;
+
+/// Upper bound on the byte length of an encoded string (1 MiB).
+///
+/// Source/item names and values are human-scale strings; the bound exists so
+/// a corrupted length prefix is rejected instead of driving a huge
+/// allocation.
+pub const MAX_STR_LEN: usize = 1 << 20;
+
+/// Errors produced while decoding (or encoding) the binary claim format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the declared value was complete.
+    Truncated {
+        /// Bytes the decoder needed to make progress.
+        needed: usize,
+        /// Bytes that were actually available.
+        have: usize,
+    },
+    /// A string's bytes were not valid UTF-8.
+    Utf8 {
+        /// Byte offset of the first invalid byte within the string.
+        valid_up_to: usize,
+    },
+    /// A string length exceeded [`MAX_STR_LEN`] (encode or decode side).
+    StringTooLong {
+        /// The offending length in bytes.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, have } => {
+                write!(f, "truncated input: needed {needed} byte(s), have {have}")
+            }
+            CodecError::Utf8 { valid_up_to } => {
+                write!(f, "invalid UTF-8 in string after {valid_up_to} byte(s)")
+            }
+            CodecError::StringTooLong { len } => {
+                write!(f, "string of {len} bytes exceeds the {MAX_STR_LEN}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends a `u8` to `out`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u32` to `out`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64` to `out`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string to `out`.
+///
+/// # Errors
+/// Returns [`CodecError::StringTooLong`] if `s` exceeds [`MAX_STR_LEN`]
+/// bytes; nothing is written in that case.
+pub fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), CodecError> {
+    if s.len() > MAX_STR_LEN {
+        return Err(CodecError::StringTooLong { len: s.len() });
+    }
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Appends a claim's three raw ids (12 bytes) to `out`.
+pub fn put_claim(out: &mut Vec<u8>, claim: &Claim) {
+    put_u32(out, claim.source.raw());
+    put_u32(out, claim.item.raw());
+    put_u32(out, claim.value.raw());
+}
+
+/// A cursor over an immutable byte slice, yielding typed values.
+///
+/// Every read either succeeds and advances the cursor or fails with a
+/// [`CodecError`] and leaves the cursor where it was.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `true` if every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current offset from the start of the underlying slice.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { needed: n, have: self.remaining() });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a length-prefixed UTF-8 string as a borrowed slice.
+    pub fn str_ref(&mut self) -> Result<&'a str, CodecError> {
+        let start = self.pos;
+        let len = self.u32()? as usize;
+        if len > MAX_STR_LEN {
+            self.pos = start;
+            return Err(CodecError::StringTooLong { len });
+        }
+        let bytes = match self.take(len) {
+            Ok(b) => b,
+            Err(e) => {
+                self.pos = start;
+                return Err(e);
+            }
+        };
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s),
+            Err(e) => {
+                self.pos = start;
+                Err(CodecError::Utf8 { valid_up_to: e.valid_up_to() })
+            }
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string as an owned `String`.
+    pub fn string(&mut self) -> Result<String, CodecError> {
+        self.str_ref().map(str::to_owned)
+    }
+
+    /// Reads a claim's three raw ids (12 bytes).
+    pub fn claim(&mut self) -> Result<Claim, CodecError> {
+        let start = self.pos;
+        let read = (|| -> Result<Claim, CodecError> {
+            Ok(Claim {
+                source: SourceId::new(self.u32()?),
+                item: ItemId::new(self.u32()?),
+                value: ValueId::new(self.u32()?),
+            })
+        })();
+        if read.is_err() {
+            self.pos = start;
+        }
+        read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 0xAB);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 1);
+        put_str(&mut out, "café 雪").unwrap();
+        put_str(&mut out, "").unwrap();
+        let claim =
+            Claim { source: SourceId::new(3), item: ItemId::new(0), value: ValueId::new(7) };
+        put_claim(&mut out, &claim);
+
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.str_ref().unwrap(), "café 雪");
+        assert_eq!(r.string().unwrap(), "");
+        assert_eq!(r.claim().unwrap(), claim);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_fail_without_advancing() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 10);
+        out.extend_from_slice(b"abc"); // declared 10 bytes, only 3 present
+        let mut r = Reader::new(&out);
+        let before = r.pos();
+        assert_eq!(r.str_ref(), Err(CodecError::Truncated { needed: 10, have: 3 }));
+        assert_eq!(r.pos(), before, "a failed read must not consume input");
+        assert_eq!(Reader::new(&[1, 2]).u32(), Err(CodecError::Truncated { needed: 4, have: 2 }));
+        assert_eq!(
+            Reader::new(&[0; 11]).claim().unwrap_err(),
+            CodecError::Truncated { needed: 4, have: 3 }
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 2);
+        out.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(Reader::new(&out).str_ref(), Err(CodecError::Utf8 { .. })));
+    }
+
+    #[test]
+    fn string_length_is_bounded() {
+        let huge = "x".repeat(MAX_STR_LEN + 1);
+        let mut out = Vec::new();
+        assert_eq!(
+            put_str(&mut out, &huge),
+            Err(CodecError::StringTooLong { len: MAX_STR_LEN + 1 })
+        );
+        assert!(out.is_empty(), "a failed encode must not write");
+
+        // Exactly at the limit round-trips.
+        let max = "y".repeat(MAX_STR_LEN);
+        put_str(&mut out, &max).unwrap();
+        assert_eq!(Reader::new(&out).str_ref().unwrap(), max);
+
+        // A corrupt oversized length prefix is rejected before allocating.
+        let mut bad = Vec::new();
+        put_u32(&mut bad, (MAX_STR_LEN + 1) as u32);
+        assert_eq!(
+            Reader::new(&bad).str_ref(),
+            Err(CodecError::StringTooLong { len: MAX_STR_LEN + 1 })
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(CodecError::Truncated { needed: 4, have: 1 }.to_string().contains("needed 4"));
+        assert!(CodecError::Utf8 { valid_up_to: 2 }.to_string().contains("UTF-8"));
+        assert!(CodecError::StringTooLong { len: 9 }.to_string().contains("9 bytes"));
+    }
+}

@@ -20,6 +20,14 @@ pub enum ModelError {
     UnknownEntity(String),
     /// The dataset is empty where a non-empty one is required.
     EmptyDataset,
+    /// A name or value cannot be written in the requested serialization
+    /// format (e.g. a TSV field containing a tab, or a source name a TSV
+    /// parser would mistake for a comment). Refusing beats writing a file
+    /// that silently parses back to different claims.
+    Unrepresentable {
+        /// What was unrepresentable, and why.
+        what: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -31,6 +39,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::UnknownEntity(what) => write!(f, "unknown entity: {what}"),
             ModelError::EmptyDataset => write!(f, "the dataset contains no claims"),
+            ModelError::Unrepresentable { what } => {
+                write!(f, "unrepresentable in this format: {what}")
+            }
         }
     }
 }

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod codec;
 mod dataset;
 mod delta;
 mod error;

@@ -60,26 +60,85 @@ pub fn load_dataset<P: AsRef<Path>>(path: P) -> Result<Dataset, ModelError> {
     read_dataset(file)
 }
 
+/// Rejects a field the TSV format cannot carry faithfully. Without this
+/// check a written file could silently parse back to *different* claims: a
+/// tab splits a field in two, a newline splits a line, and a source name
+/// starting with `#` turns its whole line into a comment.
+fn check_field(
+    kind: &str,
+    value: &str,
+    allow_empty: bool,
+    is_line_start: bool,
+) -> Result<(), ModelError> {
+    if value.contains(['\t', '\n', '\r'])
+        || (!allow_empty && value.is_empty())
+        || (is_line_start && value.starts_with('#'))
+    {
+        return Err(ModelError::Unrepresentable {
+            what: format!(
+                "{kind} {value:?} (TSV fields must be tab/newline-free{}{})",
+                if allow_empty { "" } else { ", non-empty" },
+                if is_line_start { ", and a source must not start with '#'" } else { "" },
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Writes a dataset as TSV to `writer`, one claim per line, grouped by source
 /// in id order.
-pub fn write_dataset<W: Write>(ds: &Dataset, mut writer: W) -> Result<(), ModelError> {
+///
+/// # Errors
+/// Returns [`ModelError::Unrepresentable`] — **before writing a single
+/// byte** — if any claim cannot be carried faithfully (fields containing
+/// tabs or newlines, empty source/item names, or a source name starting
+/// with `#`, which a reader would drop as a comment). Validating up front
+/// is deliberate: erroring mid-stream would leave a truncated file that
+/// silently parses back to a subset of the claims.
+pub fn write_dataset<W: Write>(ds: &Dataset, writer: W) -> Result<(), ModelError> {
+    check_dataset(ds)?;
+    write_lines(ds, writer)
+}
+
+/// Emits the claim lines of an already-validated dataset.
+fn write_lines<W: Write>(ds: &Dataset, mut writer: W) -> Result<(), ModelError> {
     for claim in ds.claim_refs() {
         writeln!(writer, "{}\t{}\t{}", claim.source, claim.item, claim.value)?;
     }
     Ok(())
 }
 
+/// Validates that every claim of `ds` is TSV-representable.
+fn check_dataset(ds: &Dataset) -> Result<(), ModelError> {
+    for claim in ds.claim_refs() {
+        check_field("source name", claim.source, false, true)?;
+        check_field("item name", claim.item, false, false)?;
+        check_field("value", claim.value, true, false)?;
+    }
+    Ok(())
+}
+
 /// Serializes a dataset to a TSV string.
-pub fn dataset_to_string(ds: &Dataset) -> String {
+///
+/// # Errors
+/// Returns [`ModelError::Unrepresentable`] under the same conditions as
+/// [`write_dataset`].
+pub fn dataset_to_string(ds: &Dataset) -> Result<String, ModelError> {
     let mut out = Vec::new();
-    write_dataset(ds, &mut out).expect("writing to a Vec cannot fail");
-    String::from_utf8(out).expect("dataset names and values are valid UTF-8")
+    write_dataset(ds, &mut out)?;
+    Ok(String::from_utf8(out).expect("dataset names and values are valid UTF-8"))
 }
 
 /// Writes a dataset to a TSV file on disk.
+///
+/// # Errors
+/// Returns [`ModelError::Unrepresentable`] *before the file is touched* if
+/// any claim cannot be carried faithfully — an existing file at `path` is
+/// not truncated on refusal.
 pub fn save_dataset<P: AsRef<Path>>(ds: &Dataset, path: P) -> Result<(), ModelError> {
+    check_dataset(ds)?;
     let file = std::fs::File::create(path)?;
-    write_dataset(ds, std::io::BufWriter::new(file))
+    write_lines(ds, std::io::BufWriter::new(file))
 }
 
 #[cfg(test)]
@@ -110,7 +169,7 @@ mod tests {
     fn roundtrip_through_string() {
         let original =
             parse_dataset("S0\tNJ\tTrenton\nS1\tNJ\tAtlantic\nS1\tAZ\tPhoenix\n").unwrap();
-        let text = dataset_to_string(&original);
+        let text = dataset_to_string(&original).unwrap();
         let reparsed = parse_dataset(&text).unwrap();
         assert_eq!(reparsed.num_sources(), original.num_sources());
         assert_eq!(reparsed.num_items(), original.num_items());
@@ -134,6 +193,62 @@ mod tests {
         let loaded = load_dataset(&path).unwrap();
         assert_eq!(loaded.num_claims(), 2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unrepresentable_names_are_refused_not_silently_lost() {
+        // A source starting with '#' would write a line the parser drops as
+        // a comment — the claim would vanish on the round trip.
+        let mut b = crate::DatasetBuilder::new();
+        b.add_claim("#evil", "NJ", "Trenton");
+        let err = dataset_to_string(&b.build()).unwrap_err();
+        assert!(matches!(err, ModelError::Unrepresentable { .. }), "unexpected {err:?}");
+        assert!(err.to_string().contains("#evil"));
+
+        // Embedded tabs and newlines would re-split fields and lines.
+        for (s, d, v) in
+            [("a\tb", "NJ", "x"), ("S", "D\n", "x"), ("S", "D", "x\ry"), ("S", "", "x")]
+        {
+            let mut b = crate::DatasetBuilder::new();
+            b.add_claim(s, d, v);
+            assert!(
+                matches!(dataset_to_string(&b.build()), Err(ModelError::Unrepresentable { .. })),
+                "({s:?}, {d:?}, {v:?}) must be refused"
+            );
+        }
+
+        // Validation runs before the first byte is written: a bad claim in
+        // the middle of the dataset must not leave a truncated prefix that
+        // would parse back as a plausible subset.
+        let mut b = crate::DatasetBuilder::new();
+        b.add_claim("good", "D0", "x");
+        b.add_claim("#bad", "D1", "y");
+        b.add_claim("also-good", "D2", "z");
+        let mut out = Vec::new();
+        let bad = b.build();
+        assert!(write_dataset(&bad, &mut out).is_err());
+        assert!(out.is_empty(), "nothing may be written when any claim is unrepresentable");
+
+        // save_dataset must refuse *before* touching the destination: an
+        // existing file survives a refused overwrite intact.
+        let dir = std::env::temp_dir().join(format!("copydet_tsv_refuse_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.tsv");
+        std::fs::write(&path, "keep\tD\tv\n").unwrap();
+        assert!(save_dataset(&bad, &path).is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "keep\tD\tv\n");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Non-ASCII and an empty value are fine — and survive the trip.
+        let mut b = crate::DatasetBuilder::new();
+        b.add_claim("søurce 雪", "itém", "");
+        b.add_claim("a#b", "D", "v");
+        let text = dataset_to_string(&b.build()).unwrap();
+        let back = parse_dataset(&text).unwrap();
+        assert_eq!(back.num_claims(), 2);
+        let s = back.source_by_name("søurce 雪").unwrap();
+        let d = back.item_by_name("itém").unwrap();
+        assert_eq!(back.value_str(back.value_of(s, d).unwrap()), "");
     }
 
     #[test]

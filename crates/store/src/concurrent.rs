@@ -31,10 +31,12 @@
 //! });
 //! ```
 
+use crate::error::StoreIoError;
 use crate::snapshot::StoreSnapshot;
 use crate::stats::StoreStats;
 use crate::store::{ClaimStore, StoreConfig};
 use copydet_model::Claim;
+use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A cloneable, thread-safe handle to a [`ClaimStore`].
@@ -62,6 +64,21 @@ impl SharedClaimStore {
     /// Wraps an existing store (e.g. one pre-loaded single-threaded).
     pub fn from_store(store: ClaimStore) -> Self {
         Self { inner: Arc::new(Mutex::new(store)) }
+    }
+
+    /// Opens (creating or recovering) a **durable** shared store in `dir`
+    /// with the default configuration; see [`ClaimStore::open`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreIoError> {
+        ClaimStore::open(dir).map(Self::from_store)
+    }
+
+    /// Opens (creating or recovering) a durable shared store with the given
+    /// configuration; see [`ClaimStore::open_with_config`].
+    pub fn open_with_config(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+    ) -> Result<Self, StoreIoError> {
+        ClaimStore::open_with_config(dir, config).map(Self::from_store)
     }
 
     /// Locks the store for a sequence of operations that must be atomic
@@ -98,16 +115,21 @@ impl SharedClaimStore {
 
     /// One background-maintenance step: seals the growing segment once it
     /// holds at least `seal_at` claims, then compacts once more than
-    /// `max_segments` sealed segments exist. Returns `true` if it did either.
+    /// `max_segments` sealed segments exist — and, on a durable store,
+    /// fsyncs any write-ahead-log frames still awaiting a flush, so
+    /// background sealing doubles as background flushing. Returns `true` if
+    /// it did any of the three.
     ///
     /// This is the loop body for a maintenance thread (spawned, like
     /// `detect::parallel`, inside a [`std::thread::scope`]): writers stream
-    /// with a plain manual-mode config while sealing/compaction cost is paid
-    /// off the ingest path. Each tick takes the store lock, so a maintenance
-    /// loop should sleep or back off when the tick returns `false` rather
-    /// than spin, to avoid contending with writers for nothing. Snapshots
-    /// held by readers are unaffected — compaction builds new segments and
-    /// never mutates shared ones.
+    /// with a plain manual-mode config while sealing/compaction/fsync cost
+    /// is paid off the ingest path. Each tick takes the store lock, so a
+    /// maintenance loop should sleep or back off when the tick returns
+    /// `false` rather than spin, to avoid contending with writers for
+    /// nothing. Snapshots held by readers are unaffected — compaction
+    /// builds new segments and never mutates shared ones. A flush failure
+    /// is recorded as the store's sticky [`StoreIoError`]; poll
+    /// [`io_error`](Self::io_error) to observe it.
     pub fn maintenance_tick(&self, seal_at: usize, max_segments: usize) -> bool {
         let mut store = self.lock();
         let mut acted = false;
@@ -119,7 +141,24 @@ impl SharedClaimStore {
             store.compact();
             acted = true;
         }
+        if store.wal_needs_sync() {
+            // The error (if any) is sticky in the store; background
+            // maintenance has no channel to report it and does not need one.
+            let _ = store.sync();
+            acted = true;
+        }
         acted
+    }
+
+    /// Flushes and fsyncs the write-ahead log (see [`ClaimStore::sync`]).
+    pub fn sync(&self) -> Result<(), StoreIoError> {
+        self.lock().sync()
+    }
+
+    /// The first persistence failure, if any (see
+    /// [`ClaimStore::io_error`]).
+    pub fn io_error(&self) -> Option<StoreIoError> {
+        self.lock().io_error().cloned()
     }
 
     /// Summary statistics of the store.

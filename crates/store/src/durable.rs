@@ -1,0 +1,384 @@
+//! Durable state of a [`ClaimStore`](crate::ClaimStore): the directory
+//! layout, the manifest-based commit protocol, and recovery.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! store-dir/
+//!   MANIFEST            commit record: table file + segment files, in order
+//!   tables-000002.tbl   id-ordered source/item/value name tables
+//!   seg-000000.seg      sealed segments, oldest first
+//!   seg-000001.seg
+//!   wal.log             growing segment, one checksummed frame per ingest
+//! ```
+//!
+//! ## Commit protocol (durable `seal` / `compact`)
+//!
+//! 1. write every not-yet-persisted sealed segment to a fresh `seg-*.seg`
+//!    (write `*.tmp`, fsync, rename, fsync dir),
+//! 2. write a fresh `tables-*.tbl` if the name tables grew,
+//! 3. write the new `MANIFEST` the same atomic way — **the rename of the
+//!    manifest is the commit point**,
+//! 4. garbage-collect files the new manifest no longer references,
+//! 5. after a seal (growing segment now empty): reset `wal.log`.
+//!
+//! Every step is fsynced before the next starts, which gives recovery its
+//! happens-before chain: a manifest is only visible if the segments and
+//! tables it references are complete, and the WAL is only reset after the
+//! manifest that covers its claims is durable. A crash between 3 and 5
+//! leaves claims present in *both* a sealed segment and the WAL; replaying
+//! the WAL over the segments is idempotent (same claims, same order, same
+//! last-claim-wins merge), so recovery converges to the identical dataset.
+//!
+//! The first I/O failure is recorded as a sticky
+//! [`StoreIoError`](crate::StoreIoError) and persistence stops; the
+//! in-memory store remains fully usable.
+
+use crate::error::StoreIoError;
+use crate::format::{self, Manifest, WalRecord};
+use crate::segment::SealedSegment;
+use crate::wal::{DurableIo, SyncPoint, WalWriter, WAL_FILE};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The durable half of a claim store.
+#[derive(Debug)]
+pub(crate) struct Persistence {
+    io: DurableIo,
+    wal: WalWriter,
+    /// Advisory exclusive lock on `LOCK`, held for the store's lifetime so
+    /// a second open of the same directory fails instead of corrupting the
+    /// WAL. Released automatically when the handle (or the process) dies,
+    /// so a crash never wedges recovery.
+    _lock: std::fs::File,
+    /// The committed tables file, if any commit has happened.
+    tables_file: Option<String>,
+    /// Table lengths `(sources, items, values)` covered by `tables_file`.
+    persisted_table_lens: (usize, usize, usize),
+    /// Committed segments and their file names, aligned with the store's
+    /// sealed-segment order. Matched by `Arc` identity (segments are
+    /// immutable), so compaction is detected structurally.
+    persisted: Vec<(SealedSegment, String)>,
+    next_seq: u64,
+    /// First persistence failure; once set, every operation is a no-op.
+    broken: Option<StoreIoError>,
+}
+
+/// The state recovered from a store directory, ready to be replayed into an
+/// in-memory [`ClaimStore`](crate::ClaimStore).
+#[derive(Debug, Default)]
+pub(crate) struct Recovered {
+    /// Source names in id order (from the committed tables file).
+    pub sources: Vec<String>,
+    /// Item names in id order.
+    pub items: Vec<String>,
+    /// Value strings in id order.
+    pub values: Vec<String>,
+    /// Committed sealed segments, oldest first.
+    pub segments: Vec<SealedSegment>,
+    /// Valid write-ahead-log records, in append order.
+    pub wal_records: Vec<WalRecord>,
+}
+
+/// Name of the manifest file inside a store directory.
+const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Name of the advisory lock file inside a store directory.
+const LOCK_FILE: &str = "LOCK";
+
+/// Returns `true` if `dir` holds durable store state (a manifest or a WAL).
+pub(crate) fn state_exists(dir: &Path) -> bool {
+    dir.join(MANIFEST_FILE).exists() || dir.join(WAL_FILE).exists()
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, StoreIoError> {
+    std::fs::read(path).map_err(|e| StoreIoError::io(path, &e))
+}
+
+impl Persistence {
+    /// Opens (creating or recovering) the durable state in `dir`.
+    ///
+    /// Returns the persistence handle plus everything recovered from disk;
+    /// a fresh directory recovers to the empty state.
+    pub fn open(
+        dir: PathBuf,
+        hook: Option<Arc<dyn SyncPoint>>,
+        fsync_each: bool,
+    ) -> Result<(Self, Recovered), StoreIoError> {
+        std::fs::create_dir_all(&dir).map_err(|e| StoreIoError::io(&dir, &e))?;
+        let mut io = DurableIo::new(dir, hook);
+
+        // 0. Take the advisory directory lock: two stores appending to one
+        //    WAL (and garbage-collecting each other's segment files) would
+        //    corrupt the state, so a concurrent second open must fail. The
+        //    OS releases the lock when the holding process dies, so a
+        //    crashed store never blocks its own recovery.
+        let lock_path = io.path_of(LOCK_FILE);
+        let lock = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&lock_path)
+            .map_err(|e| StoreIoError::io(&lock_path, &e))?;
+        lock.try_lock().map_err(|e| StoreIoError::Io {
+            path: lock_path,
+            message: format!("store directory is already open (advisory lock held): {e}"),
+        })?;
+
+        // 1. The manifest names the committed state (absent → empty).
+        let manifest_path = io.path_of(MANIFEST_FILE);
+        let manifest_present = manifest_path.exists();
+        let manifest = if manifest_present {
+            format::decode_manifest(&read_file(&manifest_path)?)
+                .map_err(|e| e.at(&manifest_path))?
+        } else {
+            Manifest::default()
+        };
+
+        // 2. Name tables.
+        let (sources, items, values) = match &manifest.tables {
+            Some(name) => {
+                let path = io.path_of(name);
+                format::decode_tables(&read_file(&path)?).map_err(|e| e.at(&path))?
+            }
+            None => Default::default(),
+        };
+
+        // 3. Sealed segments, re-validated against the tables.
+        let mut segments = Vec::with_capacity(manifest.segments.len());
+        for name in &manifest.segments {
+            let path = io.path_of(name);
+            let segment = format::decode_segment(&read_file(&path)?).map_err(|e| e.at(&path))?;
+            for (source, list) in segment.per_source() {
+                let out_of_range = source.index() >= sources.len()
+                    || list
+                        .iter()
+                        .any(|&(d, v)| d.index() >= items.len() || v.index() >= values.len());
+                if out_of_range {
+                    return Err(StoreIoError::Corrupt {
+                        path,
+                        detail: format!(
+                            "segment references ids beyond the {}-source/{}-item/{}-value tables",
+                            sources.len(),
+                            items.len(),
+                            values.len()
+                        ),
+                    });
+                }
+            }
+            segments.push(segment);
+        }
+
+        // 4. The write-ahead log (absent → create fresh; torn tail →
+        //    truncated when the writer opens it).
+        let wal_path = io.path_of(WAL_FILE);
+        let (wal, wal_records) = if wal_path.exists() {
+            let contents = format::read_wal(&read_file(&wal_path)?).map_err(|e| e.at(&wal_path))?;
+            let writer = WalWriter::open_existing(
+                &mut io,
+                contents.valid_len as u64,
+                contents.records.len() as u64,
+                contents.torn,
+                fsync_each,
+            )?;
+            (writer, contents.records)
+        } else {
+            (WalWriter::create(&mut io, fsync_each)?, Vec::new())
+        };
+
+        // 5. Garbage-collect files a crash may have orphaned: tmp files and
+        //    segment/table files the manifest does not reference. Best
+        //    effort — an orphan is harmless, it is just dead bytes. Data
+        //    files are swept only when a manifest exists to judge them by:
+        //    with no manifest at all, a stray `.seg` is *either* the debris
+        //    of a crashed first commit (its claims still live in the WAL)
+        //    *or* committed state whose manifest was lost to outside
+        //    interference — deleting it in the second case would turn a
+        //    repairable directory into permanent loss, so absent a
+        //    manifest the sweep touches nothing but `.tmp` files.
+        let referenced: Vec<&str> = manifest
+            .segments
+            .iter()
+            .map(String::as_str)
+            .chain(manifest.tables.as_deref())
+            .collect();
+        if let Ok(entries) = std::fs::read_dir(io.dir()) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let orphan_tmp = name.ends_with(".tmp");
+                let orphan_data = manifest_present
+                    && (name.ends_with(".seg") || name.ends_with(".tbl"))
+                    && !referenced.contains(&name);
+                if orphan_tmp || orphan_data {
+                    let _ = io.remove(name, "gc:orphan");
+                }
+            }
+        }
+
+        let persistence = Persistence {
+            io,
+            wal,
+            _lock: lock,
+            tables_file: manifest.tables.clone(),
+            persisted_table_lens: (sources.len(), items.len(), values.len()),
+            persisted: segments.iter().cloned().zip(manifest.segments.iter().cloned()).collect(),
+            next_seq: manifest.next_seq,
+            broken: None,
+        };
+        Ok((persistence, Recovered { sources, items, values, segments, wal_records }))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        self.io.dir()
+    }
+
+    /// The sticky first persistence failure, if any.
+    pub fn broken(&self) -> Option<&StoreIoError> {
+        self.broken.as_ref()
+    }
+
+    /// Complete frames currently in the WAL.
+    pub fn wal_frames(&self) -> u64 {
+        self.wal.frames()
+    }
+
+    /// Byte length of the WAL.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// `true` if WAL frames await an fsync. Always `false` once persistence
+    /// is broken — a flush can no longer succeed, and reporting a permanent
+    /// backlog would make a maintenance loop spin instead of backing off.
+    pub fn wal_needs_sync(&self) -> bool {
+        self.broken.is_none() && self.wal.needs_sync()
+    }
+
+    fn guard(&mut self, result: Result<(), StoreIoError>) {
+        if let Err(e) = result {
+            if self.broken.is_none() {
+                self.broken = Some(e);
+            }
+        }
+    }
+
+    /// Appends one record to the WAL (write-ahead: call before applying the
+    /// record to the in-memory store). Failures become the sticky error.
+    pub fn log(&mut self, record: &WalRecord) {
+        if self.broken.is_some() {
+            return;
+        }
+        let result = self.wal.append(&mut self.io, record);
+        self.guard(result);
+    }
+
+    /// Fsyncs appended WAL frames; returns the sticky error if persistence
+    /// has failed (now or earlier).
+    pub fn sync(&mut self) -> Result<(), StoreIoError> {
+        if self.broken.is_none() {
+            let result = self.wal.sync(&mut self.io);
+            self.guard(result);
+        }
+        match &self.broken {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Commits the current sealed state: writes new segment files, refreshes
+    /// the tables file if the tables grew, atomically publishes the new
+    /// manifest, garbage-collects superseded files, and — after a seal,
+    /// when the WAL's claims are now covered by a committed segment —
+    /// resets the WAL.
+    pub fn commit(
+        &mut self,
+        sealed: &[SealedSegment],
+        sources: &[String],
+        items: &[String],
+        values: &[String],
+        reset_wal: bool,
+    ) {
+        if self.broken.is_some() {
+            return;
+        }
+        let result = self.commit_inner(sealed, sources, items, values, reset_wal);
+        self.guard(result);
+    }
+
+    fn commit_inner(
+        &mut self,
+        sealed: &[SealedSegment],
+        sources: &[String],
+        items: &[String],
+        values: &[String],
+        reset_wal: bool,
+    ) -> Result<(), StoreIoError> {
+        // 1. Segment files for every not-yet-persisted segment.
+        let mut new_persisted: Vec<(SealedSegment, String)> = Vec::with_capacity(sealed.len());
+        for segment in sealed {
+            let name = match self.persisted.iter().find(|(p, _)| p.ptr_eq(segment)) {
+                Some((_, name)) => name.clone(),
+                None => {
+                    let name = format!("seg-{:06}.seg", self.next_seq);
+                    self.next_seq += 1;
+                    self.io.atomic_write(&name, "segment", &format::encode_segment(segment))?;
+                    name
+                }
+            };
+            new_persisted.push((segment.clone(), name));
+        }
+
+        // 2. Tables file, refreshed when the tables grew past the committed
+        //    lengths (tables are append-only, so lengths say it all).
+        let lens = (sources.len(), items.len(), values.len());
+        let manifest_path = self.io.path_of(MANIFEST_FILE);
+        if self.tables_file.is_none() || lens != self.persisted_table_lens {
+            let name = format!("tables-{:06}.tbl", self.next_seq);
+            self.next_seq += 1;
+            let bytes = format::encode_tables(sources, items, values)
+                .map_err(|e| e.at(self.io.path_of(&name)))?;
+            self.io.atomic_write(&name, "tables", &bytes)?;
+            self.tables_file = Some(name);
+            self.persisted_table_lens = lens;
+        }
+
+        // 3. The manifest rename is the commit point.
+        let manifest = Manifest {
+            next_seq: self.next_seq,
+            tables: self.tables_file.clone(),
+            segments: new_persisted.iter().map(|(_, name)| name.clone()).collect(),
+        };
+        let bytes = format::encode_manifest(&manifest).map_err(|e| e.at(&manifest_path))?;
+        self.io.atomic_write(MANIFEST_FILE, "manifest", &bytes)?;
+
+        // 4. Garbage-collect what the new manifest no longer references.
+        //    Best effort, like the open-time sweep: the commit has already
+        //    succeeded and an orphan is harmless dead bytes (the next open
+        //    removes it), so a failed unlink must not poison persistence.
+        let old_persisted = std::mem::replace(&mut self.persisted, new_persisted);
+        for (_, name) in &old_persisted {
+            if !self.persisted.iter().any(|(_, kept)| kept == name) {
+                let _ = self.io.remove(name, "gc:segment");
+            }
+        }
+        if let Ok(entries) = std::fs::read_dir(self.io.dir()) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if name.ends_with(".tbl") && Some(name) != self.tables_file.as_deref() {
+                    let _ = self.io.remove(name, "gc:tables");
+                }
+            }
+        }
+
+        // 5. After a seal the WAL's claims live in a committed segment:
+        //    start a fresh log. (Not after a pure compaction — the growing
+        //    segment, and hence the WAL, is untouched by it.)
+        if reset_wal {
+            self.wal.reset(&mut self.io)?;
+        }
+        Ok(())
+    }
+}

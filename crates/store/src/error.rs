@@ -1,0 +1,135 @@
+//! Typed I/O and recovery errors of the durable claim store.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors produced while persisting or recovering a [`ClaimStore`].
+///
+/// The variants separate the three failure classes recovery has to treat
+/// differently:
+///
+/// * [`Io`](StoreIoError::Io) — the operating system failed the operation
+///   (permissions, disk full, …). Retryable in principle.
+/// * [`Truncated`](StoreIoError::Truncated) — a file ends before its declared
+///   content. For committed files (segments, tables, manifest) this is fatal:
+///   they are written via atomic rename and can only be short if something
+///   outside the store cut them. (A torn write-ahead-log *tail* is **not** an
+///   error — it is the expected shape of a crash and recovery drops it
+///   silently.)
+/// * [`Corrupt`](StoreIoError::Corrupt) — bytes are present but wrong: bad
+///   magic, checksum mismatch, an id out of range, invalid UTF-8. The file
+///   was damaged after it was written.
+/// * [`VersionMismatch`](StoreIoError::VersionMismatch) — the file was
+///   written by an incompatible format version.
+///
+/// Recovery **never panics** on hostile bytes: every decode path funnels into
+/// one of these variants.
+///
+/// All variants carry the offending path. The error is `Clone`/`PartialEq`
+/// (messages, not live `io::Error` values) so a store can hold a sticky copy
+/// of its first persistence failure and hand it out repeatedly.
+///
+/// [`ClaimStore`]: crate::ClaimStore
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreIoError {
+    /// An operating-system I/O failure.
+    Io {
+        /// The file or directory the operation targeted.
+        path: PathBuf,
+        /// The rendered `io::Error`.
+        message: String,
+    },
+    /// A committed file ends before its declared content.
+    Truncated {
+        /// The truncated file.
+        path: PathBuf,
+        /// What was missing.
+        detail: String,
+    },
+    /// A file's bytes fail validation (magic, checksum, ids, UTF-8).
+    Corrupt {
+        /// The corrupt file.
+        path: PathBuf,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// A file was written by an incompatible format version.
+    VersionMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// The version found in the file header.
+        found: u32,
+        /// The version this build reads and writes.
+        expected: u32,
+    },
+}
+
+impl StoreIoError {
+    /// Wraps an `io::Error` with the path it occurred on.
+    pub fn io(path: impl Into<PathBuf>, err: &std::io::Error) -> Self {
+        StoreIoError::Io { path: path.into(), message: err.to_string() }
+    }
+
+    /// The path the error occurred on.
+    pub fn path(&self) -> &Path {
+        match self {
+            StoreIoError::Io { path, .. }
+            | StoreIoError::Truncated { path, .. }
+            | StoreIoError::Corrupt { path, .. }
+            | StoreIoError::VersionMismatch { path, .. } => path,
+        }
+    }
+}
+
+impl fmt::Display for StoreIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreIoError::Io { path, message } => {
+                write!(f, "I/O error on {}: {message}", path.display())
+            }
+            StoreIoError::Truncated { path, detail } => {
+                write!(f, "{} is truncated: {detail}", path.display())
+            }
+            StoreIoError::Corrupt { path, detail } => {
+                write!(f, "{} is corrupt: {detail}", path.display())
+            }
+            StoreIoError::VersionMismatch { path, found, expected } => {
+                write!(
+                    f,
+                    "{} has format version {found}, this build supports {expected}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreIoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_file_and_class() {
+        let e = StoreIoError::Corrupt { path: "/x/seg-000001.seg".into(), detail: "crc".into() };
+        assert!(e.to_string().contains("seg-000001.seg"));
+        assert!(e.to_string().contains("corrupt"));
+        assert_eq!(e.path(), Path::new("/x/seg-000001.seg"));
+
+        let v = StoreIoError::VersionMismatch { path: "/m".into(), found: 9, expected: 1 };
+        assert!(v.to_string().contains("version 9"));
+
+        let io = StoreIoError::io("/f", &std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+        let t = StoreIoError::Truncated { path: "/t".into(), detail: "short".into() };
+        assert!(t.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn errors_are_comparable_and_cloneable() {
+        let a = StoreIoError::Io { path: "/f".into(), message: "boom".into() };
+        assert_eq!(a.clone(), a);
+        assert_ne!(a, StoreIoError::Truncated { path: "/f".into(), detail: "boom".into() });
+    }
+}

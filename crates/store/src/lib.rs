@@ -29,6 +29,14 @@
 //!   stream claims, a background thread seals/compacts, and a reader
 //!   snapshots + detects concurrently (the detection round runs entirely
 //!   outside the store lock).
+//! * **Durability** — [`ClaimStore::open`] makes the store survive
+//!   restarts: every ingest is written ahead to a checksummed log before it
+//!   is applied, sealing/compaction commit segment + name-table files via
+//!   write-new-then-atomic-rename (fsync'd), and reopening the directory
+//!   recovers a store whose `snapshot()` is identical to the pre-crash one.
+//!   Torn log tails are dropped cleanly; damaged committed files surface as
+//!   a typed [`StoreIoError`] (corruption vs truncation vs version
+//!   mismatch), never a panic. See `DESIGN.md` §6 for the on-disk format.
 //! * **Incremental index maintenance** — the store maintains the pairwise
 //!   shared-item counts `l(S1, S2)` at ingest time, so
 //!   [`build_index`](ClaimStore::build_index) skips the counting pass of a
@@ -70,18 +78,24 @@
 
 mod concurrent;
 mod delta;
+mod durable;
+mod error;
+mod format;
 mod live;
 mod segment;
 mod snapshot;
 mod stats;
 mod store;
+mod wal;
 
 pub use concurrent::SharedClaimStore;
+pub use error::StoreIoError;
 pub use live::{LiveConfig, LiveDetector};
 pub use segment::{GrowingSegment, SealedSegment};
 pub use snapshot::StoreSnapshot;
 pub use stats::StoreStats;
 pub use store::{ClaimStore, StoreConfig};
+pub use wal::{SyncPoint, WritePermit};
 
 // Re-exported so store users can name the dataset/delta types without a
 // direct copydet-model dependency.

@@ -127,7 +127,13 @@ struct SealedInner {
 }
 
 impl SealedSegment {
-    fn from_parts(claims: Vec<(SourceId, Vec<(ItemId, ValueId)>)>, num_claims: usize) -> Self {
+    /// Assembles a segment from validated parts (sources strictly increasing,
+    /// items strictly increasing per source). Crate-internal: used by
+    /// [`GrowingSegment::freeze`], segment merging, and the on-disk decoder.
+    pub(crate) fn from_parts(
+        claims: Vec<(SourceId, Vec<(ItemId, ValueId)>)>,
+        num_claims: usize,
+    ) -> Self {
         Self { inner: Arc::new(SealedInner { claims, num_claims }) }
     }
 

@@ -15,9 +15,12 @@ pub struct StoreStats {
     pub num_values: usize,
     /// Distinct live `(source, item)` claims in the merged view.
     pub live_claims: usize,
-    /// Total ingest calls (including overwrites).
+    /// Total ingest calls (including overwrites). After a recovery this is
+    /// a lower bound: overwrites that collapsed inside a segment before it
+    /// was sealed are not re-observable from disk.
     pub total_ingested: u64,
-    /// Ingests that overwrote an existing claim.
+    /// Ingests that overwrote an existing claim (lower bound after a
+    /// recovery, like `total_ingested`).
     pub overwrites: usize,
     /// Number of sealed segments.
     pub sealed_segments: usize,
@@ -27,6 +30,12 @@ pub struct StoreStats {
     pub growing_claims: usize,
     /// `(source, item)` slots written since the last snapshot.
     pub pending_delta_claims: usize,
+    /// `true` if the store persists to disk (opened via `ClaimStore::open`).
+    pub durable: bool,
+    /// Complete frames currently in the write-ahead log (durable stores).
+    pub wal_frames: u64,
+    /// Byte length of the write-ahead log, header included (durable stores).
+    pub wal_bytes: u64,
 }
 
 impl std::fmt::Display for StoreStats {
@@ -45,7 +54,11 @@ impl std::fmt::Display for StoreStats {
             self.total_ingested,
             self.overwrites,
             self.pending_delta_claims,
-        )
+        )?;
+        if self.durable {
+            write!(f, ", durable ({} WAL frame(s), {} bytes)", self.wal_frames, self.wal_bytes)?;
+        }
+        Ok(())
     }
 }
 

@@ -1,15 +1,20 @@
 //! The segmented live claim store.
 
 use crate::delta::DeltaTracker;
+use crate::durable::{self, Persistence, Recovered};
+use crate::error::StoreIoError;
+use crate::format::WalRecord;
 use crate::segment::{merge_sorted, GrowingSegment, SealedSegment};
 use crate::snapshot::StoreSnapshot;
 use crate::stats::StoreStats;
+use crate::wal::SyncPoint;
 use copydet_bayes::{CopyParams, SourceAccuracies, ValueProbabilities};
 use copydet_index::{InvertedIndex, SharedItemCounts};
 use copydet_model::{
     Claim, Dataset, Interner, ItemId, ItemValueGroup, NameTable, SourceId, ValueId,
 };
 use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Configuration of a [`ClaimStore`].
@@ -22,6 +27,10 @@ pub struct StoreConfig {
     /// Automatically compact once the number of sealed segments exceeds this
     /// bound (`None` = compact only on explicit [`ClaimStore::compact`]).
     pub max_sealed_segments: Option<usize>,
+    /// For durable stores: fsync the write-ahead log after **every** ingest
+    /// instead of at [`sync`](ClaimStore::sync) / seal boundaries. Maximum
+    /// durability, at a per-claim fsync cost; ignored by in-memory stores.
+    pub wal_fsync_per_append: bool,
 }
 
 /// An append-oriented claim store for continuously arriving claims.
@@ -51,7 +60,14 @@ pub struct StoreConfig {
 /// ([`build_index`](Self::build_index)) skips both the counting pass and the
 /// `O(|S|²)` table copy that dominate index construction on provider-dense
 /// datasets.
-#[derive(Debug, Clone)]
+///
+/// A store is either **in-memory** ([`new`](Self::new) — state dies with the
+/// process) or **durable** ([`open`](Self::open) — every ingest is logged to
+/// a write-ahead log, seals and compactions commit checksummed segment files
+/// via atomic rename, and [`recover`](Self::recover) rebuilds a store whose
+/// `snapshot()` is identical to the pre-crash one). See `DESIGN.md` §6 for
+/// the on-disk format and the recovery guarantees.
+#[derive(Debug)]
 pub struct ClaimStore {
     sources: NameTable,
     items: NameTable,
@@ -71,11 +87,39 @@ pub struct ClaimStore {
     num_live_claims: usize,
     total_ingested: u64,
     overwrites: usize,
+    /// The durable half (write-ahead log + committed segment files);
+    /// `None` for in-memory stores.
+    persist: Option<Persistence>,
 }
 
 impl Default for ClaimStore {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Clone for ClaimStore {
+    /// Clones the in-memory state. The clone is always an **in-memory
+    /// fork**: it shares no write-ahead log or segment files with the
+    /// original (two stores appending to one log would corrupt it).
+    fn clone(&self) -> Self {
+        Self {
+            sources: self.sources.clone(),
+            items: self.items.clone(),
+            values: self.values.clone(),
+            sealed: self.sealed.clone(),
+            growing: self.growing.clone(),
+            item_providers: self.item_providers.clone(),
+            shared: Arc::clone(&self.shared),
+            tracker: self.tracker.clone(),
+            last_snapshot: self.last_snapshot.clone(),
+            epoch: self.epoch,
+            config: self.config,
+            num_live_claims: self.num_live_claims,
+            total_ingested: self.total_ingested,
+            overwrites: self.overwrites,
+            persist: None,
+        }
     }
 }
 
@@ -103,29 +147,318 @@ impl ClaimStore {
             num_live_claims: 0,
             total_ingested: 0,
             overwrites: 0,
+            persist: None,
         }
+    }
+
+    /// Opens (creating or recovering) a **durable** store in `dir` with the
+    /// default configuration.
+    ///
+    /// Every ingest is appended to a checksummed write-ahead log before it
+    /// is applied; [`seal`](Self::seal) and [`compact`](Self::compact)
+    /// additionally commit the sealed segments to disk (write-new-then-
+    /// atomic-rename, fsync'd). Reopening the same directory rebuilds the
+    /// store from the committed segments plus the log — no re-ingest.
+    ///
+    /// # Errors
+    /// Returns a [`StoreIoError`] if the directory cannot be created or the
+    /// existing state fails validation (corruption, truncation of a
+    /// committed file, or a format-version mismatch). A torn log *tail* is
+    /// not an error: it is the expected shape of a crash and is dropped.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreIoError> {
+        Self::open_with_config(dir, StoreConfig::default())
+    }
+
+    /// Opens (creating or recovering) a durable store with the given
+    /// configuration; see [`open`](Self::open).
+    pub fn open_with_config(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+    ) -> Result<Self, StoreIoError> {
+        Self::open_impl(dir.as_ref().to_path_buf(), config, None)
+    }
+
+    /// Like [`open_with_config`](Self::open_with_config), with a
+    /// [`SyncPoint`] fault-injection hook observing (and deciding the fate
+    /// of) every physical I/O event. This is the crash-injection surface
+    /// the recovery test suite drives; production code has no reason to
+    /// install a hook.
+    pub fn open_with_sync_point(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+        hook: Arc<dyn SyncPoint>,
+    ) -> Result<Self, StoreIoError> {
+        Self::open_impl(dir.as_ref().to_path_buf(), config, Some(hook))
+    }
+
+    /// Recovers a durable store from existing on-disk state.
+    ///
+    /// Identical to [`open`](Self::open) except that a directory holding no
+    /// store state (neither a `MANIFEST` nor a `wal.log`) is an error
+    /// instead of a fresh empty store — use it when silently starting over
+    /// would mask data loss.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<Self, StoreIoError> {
+        let dir = dir.as_ref();
+        if !durable::state_exists(dir) {
+            return Err(StoreIoError::Io {
+                path: dir.to_path_buf(),
+                message: "no durable store state (MANIFEST or wal.log) to recover".to_owned(),
+            });
+        }
+        Self::open(dir)
+    }
+
+    fn open_impl(
+        dir: PathBuf,
+        config: StoreConfig,
+        hook: Option<Arc<dyn SyncPoint>>,
+    ) -> Result<Self, StoreIoError> {
+        let (persistence, recovered) = Persistence::open(dir, hook, config.wal_fsync_per_append)?;
+        Self::from_recovered(persistence, recovered, config)
+    }
+
+    /// Rebuilds the in-memory store from recovered durable state, then
+    /// attaches the persistence handle. The rebuilt store's `snapshot()` is
+    /// identical to one `DatasetBuilder` pass over the durable claim
+    /// sequence (committed segments oldest→newest, then the log in append
+    /// order) — the same equivalence contract every other construction path
+    /// honours.
+    fn from_recovered(
+        persistence: Persistence,
+        recovered: Recovered,
+        config: StoreConfig,
+    ) -> Result<Self, StoreIoError> {
+        let corrupt = |path: PathBuf, detail: String| StoreIoError::Corrupt { path, detail };
+        let dir = persistence.dir().to_path_buf();
+        let wal_path = dir.join(crate::wal::WAL_FILE);
+        let mut store = Self::with_config(config);
+
+        // 1. Name tables, re-interned in id order so every persisted id
+        //    resolves to the string it was written with.
+        for (pos, name) in recovered.sources.iter().enumerate() {
+            if store.sources.intern(name) != pos {
+                return Err(corrupt(dir, format!("duplicate source name {name:?} in tables")));
+            }
+        }
+        for (pos, name) in recovered.items.iter().enumerate() {
+            if store.items.intern(name) != pos {
+                return Err(corrupt(dir, format!("duplicate item name {name:?} in tables")));
+            }
+            store.item_providers.push(Vec::new());
+        }
+        for (pos, name) in recovered.values.iter().enumerate() {
+            if store.values.intern(name).index() != pos {
+                return Err(corrupt(dir, format!("duplicate value {name:?} in tables")));
+            }
+        }
+
+        // 2. Committed segments are adopted as-is (the exact pre-crash
+        //    segmentation), with the ingest-time bookkeeping — live-claim
+        //    count, per-item providers, shared-item counts — replayed
+        //    oldest→newest under the same newest-wins rules.
+        store.sealed = recovered.segments;
+        Arc::make_mut(&mut store.shared).grow(store.sources.len());
+        let segments = std::mem::take(&mut store.sealed);
+        for segment in &segments {
+            for (source, list) in segment.per_source() {
+                for &(item, _) in list {
+                    store.replay_bookkeeping(source, item);
+                }
+            }
+        }
+        store.sealed = segments;
+
+        // 3. The write-ahead log replays through the normal ingest path
+        //    (auto-sealing suppressed: the log must keep mirroring the
+        //    growing segment until the next commit boundary).
+        for record in &recovered.wal_records {
+            match record {
+                WalRecord::DefSource { id, name } => {
+                    let (sid, _) = store.intern_source(name);
+                    if sid.raw() != *id {
+                        return Err(corrupt(
+                            wal_path,
+                            format!("source def {name:?} resolves to {sid}, log says S{id}"),
+                        ));
+                    }
+                }
+                WalRecord::DefItem { id, name } => {
+                    let (did, _) = store.intern_item(name);
+                    if did.raw() != *id {
+                        return Err(corrupt(
+                            wal_path,
+                            format!("item def {name:?} resolves to {did}, log says D{id}"),
+                        ));
+                    }
+                }
+                WalRecord::DefValue { id, name } => {
+                    let (vid, _) = store.intern_value(name);
+                    if vid.raw() != *id {
+                        return Err(corrupt(
+                            wal_path,
+                            format!("value def {name:?} resolves to {vid}, log says V{id}"),
+                        ));
+                    }
+                }
+                WalRecord::Claim { claim, source_def, item_def, value_def } => {
+                    // Embedded defs intern idempotently: after a crash
+                    // between the manifest commit and the WAL reset, the
+                    // log replays over tables that already contain these
+                    // names — the assigned id must simply match the logged
+                    // one. A claim without a def must reference a known id.
+                    let ok = match source_def {
+                        Some(name) => store.intern_source(name).0 == claim.source,
+                        None => claim.source.index() < store.sources.len(),
+                    } && match item_def {
+                        Some(name) => store.intern_item(name).0 == claim.item,
+                        None => claim.item.index() < store.items.len(),
+                    } && match value_def {
+                        Some(name) => store.intern_value(name).0 == claim.value,
+                        None => claim.value.index() < store.values.len(),
+                    };
+                    if !ok {
+                        return Err(corrupt(
+                            wal_path,
+                            format!("claim {claim:?} does not resolve against its tables"),
+                        ));
+                    }
+                    store.apply_claim(claim.source, claim.item, claim.value, false);
+                }
+            }
+        }
+
+        store.persist = Some(persistence);
+        // A recovered growing segment past the auto-seal threshold is
+        // sealed (and committed) now that persistence is attached.
+        if let Some(limit) = store.config.seal_threshold {
+            if store.growing.num_claims() >= limit {
+                store.seal();
+            }
+        }
+        Ok(store)
+    }
+
+    /// Ingest-time bookkeeping replayed for one committed claim during
+    /// recovery: reproduces the *correctness-bearing* state of
+    /// [`apply_claim`](Self::apply_claim) — live-claim count, per-item
+    /// providers, shared-item counts — using provider membership (instead
+    /// of segment lookups) to decide new-vs-overwrite.
+    ///
+    /// The diagnostic counters `total_ingested` / `overwrites` become
+    /// **lower bounds** across a recovery: overwrites that collapsed inside
+    /// a segment before it was sealed are not re-observable from its
+    /// deduplicated claim lists.
+    fn replay_bookkeeping(&mut self, source: SourceId, item: ItemId) {
+        self.total_ingested += 1;
+        let providers = &mut self.item_providers[item.index()];
+        match providers.binary_search(&source) {
+            Ok(_) => self.overwrites += 1,
+            Err(pos) => {
+                self.num_live_claims += 1;
+                let shared = Arc::make_mut(&mut self.shared);
+                for &t in providers.iter() {
+                    shared.increment(copydet_model::SourcePair::new(source, t), 1);
+                }
+                providers.insert(pos, source);
+            }
+        }
+    }
+
+    /// On a durable store, rejects a string the on-disk format cannot
+    /// carry **before** it is interned or logged. Rejecting loudly here is
+    /// deliberate: the alternatives are interning a name the log can never
+    /// define (recovery would then mismatch) or letting one absurd string
+    /// poison persistence and silently lose every *later* claim across a
+    /// restart. In-memory stores accept any string.
+    ///
+    /// # Panics
+    /// Panics if `s` exceeds [`copydet_model::codec::MAX_STR_LEN`] bytes
+    /// and the store is durable.
+    fn check_persistable(&self, what: &str, s: &str) {
+        if self.persist.is_some() {
+            assert!(
+                s.len() <= copydet_model::codec::MAX_STR_LEN,
+                "{what} of {} bytes exceeds the {}-byte on-disk string limit of a durable store",
+                s.len(),
+                copydet_model::codec::MAX_STR_LEN
+            );
+        }
+    }
+
+    /// Interns a source, returning `(id, newly_interned)` without logging.
+    fn intern_source(&mut self, name: &str) -> (SourceId, bool) {
+        let before = self.sources.len();
+        let idx = self.sources.intern(name);
+        (SourceId::from_index(idx), idx == before)
+    }
+
+    /// Interns an item, returning `(id, newly_interned)` without logging.
+    fn intern_item(&mut self, name: &str) -> (ItemId, bool) {
+        let before = self.items.len();
+        let idx = self.items.intern(name);
+        if idx == self.item_providers.len() {
+            self.item_providers.push(Vec::new());
+        }
+        (ItemId::from_index(idx), idx == before)
+    }
+
+    /// Interns a value, returning `(id, newly_interned)` without logging.
+    fn intern_value(&mut self, s: &str) -> (ValueId, bool) {
+        let before = self.values.len();
+        let id = self.values.intern(s);
+        (id, id.index() == before)
     }
 
     /// Interns (or retrieves) a source by name.
     ///
     /// Id assignment is shared with `DatasetBuilder` through
-    /// [`NameTable`], so the two construction paths cannot drift.
+    /// [`NameTable`], so the two construction paths cannot drift. On a
+    /// durable store a *new* name is logged before the id is returned.
+    ///
+    /// # Panics
+    /// On a durable store, panics if `name` exceeds the on-disk string
+    /// limit ([`copydet_model::codec::MAX_STR_LEN`], 1 MiB).
     pub fn source(&mut self, name: &str) -> SourceId {
-        SourceId::from_index(self.sources.intern(name))
+        self.check_persistable("source name", name);
+        let (id, new) = self.intern_source(name);
+        if new {
+            if let Some(persist) = &mut self.persist {
+                persist.log(&WalRecord::DefSource { id: id.raw(), name: name.to_owned() });
+            }
+        }
+        id
     }
 
     /// Interns (or retrieves) a data item by name.
+    ///
+    /// # Panics
+    /// On a durable store, panics if `name` exceeds the on-disk string
+    /// limit ([`copydet_model::codec::MAX_STR_LEN`], 1 MiB).
     pub fn item(&mut self, name: &str) -> ItemId {
-        let idx = self.items.intern(name);
-        if idx == self.item_providers.len() {
-            self.item_providers.push(Vec::new());
+        self.check_persistable("item name", name);
+        let (id, new) = self.intern_item(name);
+        if new {
+            if let Some(persist) = &mut self.persist {
+                persist.log(&WalRecord::DefItem { id: id.raw(), name: name.to_owned() });
+            }
         }
-        ItemId::from_index(idx)
+        id
     }
 
     /// Interns (or retrieves) a value string.
+    ///
+    /// # Panics
+    /// On a durable store, panics if `s` exceeds the on-disk string limit
+    /// ([`copydet_model::codec::MAX_STR_LEN`], 1 MiB).
     pub fn value(&mut self, s: &str) -> ValueId {
-        self.values.intern(s)
+        self.check_persistable("value", s);
+        let (id, new) = self.intern_value(s);
+        if new {
+            if let Some(persist) = &mut self.persist {
+                persist.log(&WalRecord::DefValue { id: id.raw(), name: s.to_owned() });
+            }
+        }
+        id
     }
 
     /// Ingests the claim "source provides `value` for `item`", interning all
@@ -134,12 +467,33 @@ impl ClaimStore {
     /// Re-claiming an already-claimed item overwrites the value
     /// (last-claim-wins, like `DatasetBuilder`). May auto-seal per
     /// [`StoreConfig::seal_threshold`].
+    ///
+    /// On a durable store the claim — together with any names it newly
+    /// interned — is written ahead to the log as **one atomic frame**, so a
+    /// crash boundary can never separate a claim from its definitions.
+    ///
+    /// # Panics
+    /// On a durable store, panics if any of the three strings exceeds the
+    /// on-disk string limit ([`copydet_model::codec::MAX_STR_LEN`], 1 MiB)
+    /// — rejected before interning, so neither memory nor log is touched.
     pub fn ingest(&mut self, source: &str, item: &str, value: &str) -> Claim {
-        let s = self.source(source);
-        let d = self.item(item);
-        let v = self.value(value);
-        self.ingest_ids(s, d, v);
-        Claim { source: s, item: d, value: v }
+        self.check_persistable("source name", source);
+        self.check_persistable("item name", item);
+        self.check_persistable("value", value);
+        let (s, new_s) = self.intern_source(source);
+        let (d, new_d) = self.intern_item(item);
+        let (v, new_v) = self.intern_value(value);
+        let claim = Claim { source: s, item: d, value: v };
+        if let Some(persist) = &mut self.persist {
+            persist.log(&WalRecord::Claim {
+                claim,
+                source_def: new_s.then(|| source.to_owned()),
+                item_def: new_d.then(|| item.to_owned()),
+                value_def: new_v.then(|| value.to_owned()),
+            });
+        }
+        self.apply_claim(s, d, v, true);
+        claim
     }
 
     /// Ingests a claim using already-interned identifiers.
@@ -150,6 +504,28 @@ impl ClaimStore {
         assert!(source.index() < self.sources.len(), "unknown source id {source}");
         assert!(item.index() < self.items.len(), "unknown item id {item}");
         assert!(value.index() < self.values.len(), "unknown value id {value}");
+        if let Some(persist) = &mut self.persist {
+            persist.log(&WalRecord::Claim {
+                claim: Claim { source, item, value },
+                source_def: None,
+                item_def: None,
+                value_def: None,
+            });
+        }
+        self.apply_claim(source, item, value, true);
+    }
+
+    /// Applies one claim to the in-memory state (bookkeeping + growing
+    /// segment); the write-ahead logging has already happened. Auto-sealing
+    /// is suppressed during WAL replay, where the log must keep mirroring
+    /// the growing segment.
+    fn apply_claim(
+        &mut self,
+        source: SourceId,
+        item: ItemId,
+        value: ValueId,
+        allow_autoseal: bool,
+    ) {
         self.total_ingested += 1;
         let old = self.merged_value(source, item);
         self.tracker.note(source, item, old);
@@ -171,9 +547,11 @@ impl ClaimStore {
             self.overwrites += 1;
         }
         self.growing.insert(source, item, value);
-        if let Some(limit) = self.config.seal_threshold {
-            if self.growing.num_claims() >= limit {
-                self.seal();
+        if allow_autoseal {
+            if let Some(limit) = self.config.seal_threshold {
+                if self.growing.num_claims() >= limit {
+                    self.seal();
+                }
             }
         }
     }
@@ -190,6 +568,13 @@ impl ClaimStore {
     /// Freezes the growing segment into a sealed segment (no-op when the
     /// growing segment is empty). May auto-compact per
     /// [`StoreConfig::max_sealed_segments`].
+    ///
+    /// On a durable store sealing is a **commit**: the new segment (and, if
+    /// the name tables grew, a fresh tables file) is written out
+    /// write-new-then-atomic-rename with fsyncs, the manifest rename
+    /// publishes it, and the write-ahead log — whose claims the segment now
+    /// covers — is reset. A crash at any point leaves either the old
+    /// committed state plus the intact log, or the new one.
     pub fn seal(&mut self) {
         if self.growing.is_empty() {
             return;
@@ -198,14 +583,27 @@ impl ClaimStore {
         self.sealed.push(growing.freeze());
         if let Some(limit) = self.config.max_sealed_segments {
             if self.sealed.len() > limit {
-                self.compact();
+                self.compact_segments();
             }
         }
+        self.persist_commit(true);
     }
 
     /// Coalesces all sealed segments into one (newest-wins), bounding the
-    /// number of segments a lookup or snapshot has to visit.
+    /// number of segments a lookup or snapshot has to visit. On a durable
+    /// store the merged segment is committed like a seal — but the
+    /// write-ahead log is untouched, since compaction never sees the
+    /// growing segment.
     pub fn compact(&mut self) {
+        if self.sealed.len() < 2 {
+            return;
+        }
+        self.compact_segments();
+        self.persist_commit(false);
+    }
+
+    /// The in-memory merge of all sealed segments into one (newest-wins).
+    fn compact_segments(&mut self) {
         if self.sealed.len() < 2 {
             return;
         }
@@ -214,6 +612,54 @@ impl ClaimStore {
             merged = SealedSegment::merge(&merged, &seg);
         }
         self.sealed = vec![merged];
+    }
+
+    /// Commits the current sealed state to disk (durable stores only).
+    fn persist_commit(&mut self, reset_wal: bool) {
+        let Some(persist) = &mut self.persist else { return };
+        let values = self.values.shared_strings();
+        persist.commit(
+            &self.sealed,
+            self.sources.names(),
+            self.items.names(),
+            values.as_slice(),
+            reset_wal,
+        );
+    }
+
+    /// Flushes and fsyncs the write-ahead log (no-op for in-memory stores).
+    ///
+    /// # Errors
+    /// Returns the store's sticky [`StoreIoError`] if persistence has
+    /// failed, now or earlier — after the first failure the store keeps
+    /// serving from memory but stops persisting, and every later `sync`
+    /// reports that same error.
+    pub fn sync(&mut self) -> Result<(), StoreIoError> {
+        match &mut self.persist {
+            Some(persist) => persist.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// The first persistence failure, if any (durable stores only).
+    pub fn io_error(&self) -> Option<&StoreIoError> {
+        self.persist.as_ref().and_then(Persistence::broken)
+    }
+
+    /// Returns `true` if this store persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// The durable store directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.persist.as_ref().map(Persistence::dir)
+    }
+
+    /// Returns `true` if write-ahead-log frames await an fsync — the signal
+    /// background maintenance uses to double as background flushing.
+    pub fn wal_needs_sync(&self) -> bool {
+        self.persist.as_ref().is_some_and(Persistence::wal_needs_sync)
     }
 
     /// Takes a consistent snapshot: a [`Dataset`] over all claims ingested so
@@ -417,6 +863,9 @@ impl ClaimStore {
             sealed_claims: self.sealed.iter().map(SealedSegment::num_claims).sum(),
             growing_claims: self.growing.num_claims(),
             pending_delta_claims: self.tracker.len(),
+            durable: self.persist.is_some(),
+            wal_frames: self.persist.as_ref().map_or(0, Persistence::wal_frames),
+            wal_bytes: self.persist.as_ref().map_or(0, Persistence::wal_bytes),
         }
     }
 }
@@ -516,6 +965,7 @@ mod tests {
         let mut store = ClaimStore::with_config(StoreConfig {
             seal_threshold: Some(2),
             max_sealed_segments: Some(2),
+            ..StoreConfig::default()
         });
         for (s, d, v) in CLAIMS {
             store.ingest(s, d, v);

@@ -1,0 +1,31 @@
+//! Shared helpers for the store's integration tests.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory for one test; removed again on drop.
+pub struct Scratch(PathBuf);
+
+impl Scratch {
+    pub fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "copydet_store_test_{label}_{}_{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}

@@ -125,6 +125,7 @@ proptest! {
         let mut store = ClaimStore::with_config(StoreConfig {
             seal_threshold: Some(7),
             max_sealed_segments: Some(2),
+            ..StoreConfig::default()
         });
         for (s, d, v, _) in &claims {
             store.ingest(&format!("S{s}"), &format!("D{d}"), &format!("v{v}"));

@@ -89,6 +89,6 @@ pub mod prelude {
         Dataset, DatasetBuilder, DatasetDelta, ItemId, SourceId, SourcePair, ValueId,
     };
     pub use copydet_store::{
-        ClaimStore, LiveDetector, SharedClaimStore, StoreConfig, StoreSnapshot,
+        ClaimStore, LiveDetector, SharedClaimStore, StoreConfig, StoreIoError, StoreSnapshot,
     };
 }

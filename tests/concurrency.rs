@@ -154,6 +154,7 @@ fn detection_on_a_moved_snapshot_is_stable() {
     let store = SharedClaimStore::with_config(StoreConfig {
         seal_threshold: Some(64),
         max_sealed_segments: Some(2),
+        ..StoreConfig::default()
     });
     for (s, d, v) in claim_stream(0) {
         store.ingest(&s, &d, &v);

@@ -139,7 +139,7 @@ fn sampled_detection_end_to_end() {
 #[test]
 fn tsv_roundtrip_preserves_detection_results() {
     let workload = small_workload(505);
-    let text = copydetect::model::tsv::dataset_to_string(&workload.dataset);
+    let text = copydetect::model::tsv::dataset_to_string(&workload.dataset).unwrap();
     let reloaded = copydetect::model::tsv::parse_dataset(&text).unwrap();
 
     let params = CopyParams::paper_defaults();
