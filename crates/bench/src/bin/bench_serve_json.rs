@@ -1,0 +1,185 @@
+//! Emits `BENCH_serve.json`: a machine-readable perf snapshot of the
+//! sharded serving engine so the scaling trajectory accumulates data points
+//! across PRs.
+//!
+//! Measures, per shard count (1 / 2 / 4):
+//! * sustained ingest throughput under segment maintenance — four writer
+//!   threads streaming batches through [`ShardedStore::ingest_batch`] into
+//!   auto-sealing, auto-compacting stores. This is where partitioning pays
+//!   independent of core count: a single store's compactions re-merge the
+//!   *entire* corpus-so-far every time, while each shard re-merges only its
+//!   partition — O(corpus/shards) per compaction — and on multi-core hosts
+//!   the per-shard mutexes additionally let the writers proceed in
+//!   parallel (`host_parallelism` records what this machine offered),
+//! * fan-out detection-round latency ([`ShardedDetector::detect_round`]),
+//! * the round decomposed: per-shard evidence scan vs cross-shard merge.
+//!
+//! Run with: `cargo run --release -p copydet-bench --bin bench_serve_json`
+
+use copydet_bayes::SourceAccuracies;
+use copydet_detect::{collect_shard_evidence, merge_shard_rounds, ShardRoundEvidence};
+use copydet_serve::{LiveConfig, ShardedDetector, ShardedStore};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const WRITERS: usize = 4;
+const BATCH: usize = 32;
+const SOURCES: usize = 64;
+const ITEMS: usize = 16384;
+const CLAIMS_PER_SOURCE: usize = 8192;
+
+/// A deterministic serving corpus: 64 sources × 8192 claims each over
+/// 16384 items (~32 providers per item), with a planted copier pair
+/// (sources 0 and 1 share distinctive values). Large enough that segment
+/// maintenance — the part of ingest whose cost scales with partition size —
+/// is a substantial share of the sustained serving cost.
+fn corpus() -> Vec<(String, String, String)> {
+    let mut claims = Vec::with_capacity(SOURCES * CLAIMS_PER_SOURCE);
+    for s in 0..SOURCES {
+        for i in 0..CLAIMS_PER_SOURCE {
+            // Spread each source over the item space with a stride coprime
+            // to ITEMS so providers overlap pairwise.
+            let item = (s * 61 + i * 17) % ITEMS;
+            let value = match s {
+                0 | 1 => format!("planted-{item}"),
+                _ => format!("v{}", item % 7),
+            };
+            claims.push((format!("S{s}"), format!("D{item}"), value));
+        }
+    }
+    claims
+}
+
+fn median_secs(mut runs: Vec<f64>) -> f64 {
+    runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    runs[runs.len() / 2]
+}
+
+fn time_n(n: usize, mut f: impl FnMut()) -> f64 {
+    median_secs(
+        (0..n)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64()
+            })
+            .collect(),
+    )
+}
+
+/// Wall-clock of four writers streaming the corpus into a fresh store with
+/// live segment maintenance (auto-seal every 4096 claims, compact past 4
+/// segments) — the serving configuration, where compaction cost scales with
+/// the partition size, not the corpus.
+fn parallel_ingest_secs(claims: &[(String, String, String)], shards: usize) -> f64 {
+    let config = copydet_serve::StoreConfig {
+        seal_threshold: Some(4096),
+        max_sealed_segments: Some(4),
+        ..Default::default()
+    };
+    median_secs(
+        (0..3)
+            .map(|_| {
+                let store = ShardedStore::with_config(shards, config);
+                let start = Instant::now();
+                std::thread::scope(|scope| {
+                    for w in 0..WRITERS {
+                        let handle = store.clone();
+                        let slice: Vec<&(String, String, String)> =
+                            claims.iter().skip(w).step_by(WRITERS).collect();
+                        scope.spawn(move || {
+                            for chunk in slice.chunks(BATCH) {
+                                handle.ingest_batch(
+                                    chunk
+                                        .iter()
+                                        .map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())),
+                                );
+                            }
+                        });
+                    }
+                });
+                let elapsed = start.elapsed().as_secs_f64();
+                assert_eq!(store.num_claims(), claims.len());
+                elapsed
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let claims = corpus();
+    let n = claims.len();
+    let mut entries = Vec::new();
+
+    for shards in [1usize, 2, 4] {
+        let ingest_s = parallel_ingest_secs(&claims, shards);
+
+        // A loaded store for the round measurements.
+        let store = ShardedStore::new(shards);
+        store.ingest_batch(claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())));
+        let mut detector = ShardedDetector::new();
+        let round_s = time_n(3, || {
+            let result = detector.detect_round(&store);
+            assert!(result.pairs_considered > 0);
+        });
+
+        // Decompose one round: sequential per-shard evidence scans vs the
+        // cross-shard merge (the fan-out round above overlaps the scans).
+        let captures = store.capture_shards();
+        let maps: Vec<_> = captures.iter().map(|(s, _)| store.maps_for(s)).collect();
+        let live = copydet_store::LiveDetector::with_config(LiveConfig::default());
+        let mut evidence: Vec<ShardRoundEvidence> = Vec::new();
+        let scan_s = {
+            let start = Instant::now();
+            for ((snapshot, counts), map) in captures.iter().zip(&maps) {
+                let input = live.prepare(snapshot);
+                evidence.push(collect_shard_evidence(&input.as_round_input(), counts, &map.ids));
+            }
+            start.elapsed().as_secs_f64()
+        };
+        let accuracies = SourceAccuracies::uniform(store.num_sources(), 0.8).unwrap();
+        let params = copydet_bayes::CopyParams::paper_defaults();
+        let merge_s = time_n(3, || {
+            let result = merge_shard_rounds(evidence.clone(), &accuracies, params);
+            assert!(result.pairs_considered > 0);
+        });
+
+        let mut e = String::new();
+        let _ = write!(
+            e,
+            concat!(
+                "    {{\n",
+                "      \"shards\": {},\n",
+                "      \"writers\": {},\n",
+                "      \"host_parallelism\": {},\n",
+                "      \"ingest_claims_per_s\": {:.0},\n",
+                "      \"round_s\": {:.6},\n",
+                "      \"scan_sequential_s\": {:.6},\n",
+                "      \"merge_s\": {:.6}\n",
+                "    }}"
+            ),
+            shards,
+            WRITERS,
+            std::thread::available_parallelism().map_or(1, usize::from),
+            n as f64 / ingest_s,
+            round_s,
+            scan_s,
+            merge_s,
+        );
+        entries.push(e);
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"serve\",\n  \"claims\": {},\n  \"sources\": {},\n",
+            "  \"items\": {},\n  \"configs\": [\n{}\n  ]\n}}\n"
+        ),
+        n,
+        SOURCES,
+        ITEMS,
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_serve.json");
+}

@@ -34,6 +34,7 @@ pub mod parallel;
 mod result;
 mod sampling;
 mod scan;
+mod sharded;
 
 pub use api::{CopyDetector, OwnedRoundInput, RoundInput};
 pub use counters::ComputationCounter;
@@ -47,3 +48,7 @@ pub use scan::{
     bound_detection, hybrid_detection, index_detection, IndexScanConfig, PairModeRule, ScanOutput,
 };
 pub use scan::{BoundDetector, HybridDetector, IndexDetector};
+pub use sharded::{
+    collect_shard_evidence, merge_shard_rounds, ShardIdMap, ShardRoundEvidence,
+    SharedItemObservation,
+};

@@ -1,0 +1,297 @@
+//! Cross-shard detection: per-shard overlap evidence and the merge that
+//! turns it into global pairwise decisions.
+//!
+//! `copydet-serve` hash-partitions **data items** across shards, each an
+//! independent claim store with its own dense id space. Because the shards
+//! are item-disjoint, a pair of sources' evidence decomposes exactly: every
+//! shared item lives in precisely one shard, so the global pairwise scores
+//! of Eq. 2 are the fold of the per-shard shared-item observations — no
+//! cross-shard interaction terms exist.
+//!
+//! The merge is **bit-identical** to a single-store PAIRWISE run, not just
+//! approximately equal, because floating-point accumulation is
+//! order-sensitive and the fold is careful about order:
+//!
+//! 1. each shard reports *observations* (shared item + the value-agreement
+//!    probability), not partial score sums, with ids already translated to
+//!    the global id space via a [`ShardIdMap`];
+//! 2. [`merge_shard_rounds`] sorts each pair's observations by global item
+//!    id and folds them in that order — exactly the order in which
+//!    `ScoringContext::score_pair` walks a single store's claim lists.
+//!
+//! The remaining input, the per-value truth probability, is order-sensitive
+//! too (the vote normalizes over an item's value groups in sequence); shard
+//! drivers obtain bit-identical probabilities by voting each item's groups
+//! in global value-id order via
+//! `copydet_fusion::vote_group_probabilities` — see `copydet-serve`.
+
+use crate::api::RoundInput;
+use crate::result::{DetectionResult, PairOutcome};
+use copydet_bayes::{CopyDecision, CopyParams, PairEvidence, SourceAccuracies};
+use copydet_index::SharedItemCounts;
+use copydet_model::{ItemId, SourceId, SourcePair};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Translation from one shard's dense ids to the global id space.
+///
+/// Index `i` holds the global id of the shard's local id `i`. The maps are
+/// built by the shard router, which interns every name globally in arrival
+/// order, so a fresh store fed the same claim stream assigns the same ids.
+#[derive(Debug, Clone, Default)]
+pub struct ShardIdMap {
+    /// Global source id of each local source id.
+    pub sources: Vec<SourceId>,
+    /// Global item id of each local item id.
+    pub items: Vec<ItemId>,
+}
+
+/// One shared data item observed for a pair of sources, in global ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedItemObservation {
+    /// The shared item (global id).
+    pub item: ItemId,
+    /// `Some(p)` when both sources provide the same value for the item,
+    /// where `p` is that value's truth probability; `None` when their
+    /// values differ.
+    pub same_value_probability: Option<f64>,
+}
+
+/// The overlap evidence one shard contributes to a detection round: for
+/// every pair of sources that shares at least one item *within the shard*,
+/// the per-item observations, keyed by the **global** source pair.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRoundEvidence {
+    /// Per-pair shared-item observations (ascending global item id, since a
+    /// shard's local item order is the global order restricted to it).
+    pub pairs: HashMap<SourcePair, Vec<SharedItemObservation>>,
+}
+
+impl ShardRoundEvidence {
+    /// Total number of shared-item observations across all pairs.
+    pub fn num_observations(&self) -> usize {
+        self.pairs.values().map(Vec::len).sum()
+    }
+}
+
+/// Collects one shard's overlap evidence for a detection round.
+///
+/// Candidate pairs come from the shard's incrementally-maintained
+/// [`SharedItemCounts`] — only pairs that actually share an item in this
+/// shard are visited, so the scan is `O(Σ pair overlaps)`, not
+/// `O(|S_shard|²)`. For each candidate pair the two claim lists are merged
+/// (the same walk as `ScoringContext::score_pair`) and every shared item
+/// becomes a [`SharedItemObservation`] carrying the truth probability of the
+/// agreed value, translated to global ids via `map`.
+///
+/// # Panics
+/// Panics if `counts` disagrees with the snapshot in `input` (a listed pair
+/// must share the counted number of items) — the caller must capture both
+/// under one store lock — or if `map` does not cover the snapshot's ids.
+pub fn collect_shard_evidence(
+    input: &RoundInput<'_>,
+    counts: &SharedItemCounts,
+    map: &ShardIdMap,
+) -> ShardRoundEvidence {
+    let mut evidence = ShardRoundEvidence::default();
+    for (pair, count) in counts.iter_nonzero() {
+        let (l1, l2) = (pair.first(), pair.second());
+        let claims1 = input.dataset.claims_of(l1);
+        let claims2 = input.dataset.claims_of(l2);
+        let mut observations = Vec::with_capacity(count as usize);
+        let (mut i, mut j) = (0, 0);
+        while i < claims1.len() && j < claims2.len() {
+            let (d1, v1) = claims1[i];
+            let (d2, v2) = claims2[j];
+            match d1.cmp(&d2) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let same_value_probability =
+                        (v1 == v2).then(|| input.probabilities.get(d1, v1));
+                    observations.push(SharedItemObservation {
+                        item: map.items[d1.index()],
+                        same_value_probability,
+                    });
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        assert_eq!(
+            observations.len(),
+            count as usize,
+            "shared-item counts disagree with the snapshot for local pair {pair}: counts and \
+             snapshot must be captured under one store lock"
+        );
+        let global = SourcePair::new(map.sources[l1.index()], map.sources[l2.index()]);
+        evidence.pairs.insert(global, observations);
+    }
+    evidence
+}
+
+/// Merges per-shard overlap evidence into global pairwise decisions.
+///
+/// For every pair, the observations of all shards are concatenated, sorted
+/// by global item id (shards are item-disjoint, so there are no duplicates)
+/// and folded into a [`PairEvidence`] in that order — the identical sequence
+/// of floating-point operations a single-store `score_pair` walk performs —
+/// then the posterior of Eq. 2 decides. `accuracies` are the **global**
+/// source accuracies; the computation counters use the same accounting as
+/// PAIRWISE (two directional score updates per shared item, one posterior
+/// per materialized pair).
+pub fn merge_shard_rounds(
+    rounds: Vec<ShardRoundEvidence>,
+    accuracies: &SourceAccuracies,
+    params: CopyParams,
+) -> DetectionResult {
+    let start = Instant::now();
+    let mut result = DetectionResult::new("SHARDED");
+    let mut merged: HashMap<SourcePair, Vec<SharedItemObservation>> = HashMap::new();
+    for round in rounds {
+        for (pair, mut observations) in round.pairs {
+            merged.entry(pair).or_default().append(&mut observations);
+        }
+    }
+    for (pair, mut observations) in merged {
+        observations.sort_by_key(|o| o.item);
+        debug_assert!(
+            observations.windows(2).all(|w| w[0].item < w[1].item),
+            "shards must be item-disjoint"
+        );
+        let a_first = accuracies.get(pair.first());
+        let a_second = accuracies.get(pair.second());
+        let mut evidence = PairEvidence::empty();
+        for observation in &observations {
+            match observation.same_value_probability {
+                Some(p) => evidence.add_same_value(p, a_first, a_second, &params),
+                None => evidence.add_different_value(&params),
+            }
+        }
+        result.counter.score_updates += 2 * evidence.shared_items() as u64;
+        result.shared_values_examined += evidence.shared_values as u64;
+        let posterior = evidence.posterior_independence(&params);
+        result.counter.pair_finalizations += 1;
+        result.pairs_considered += 1;
+        result.outcomes.insert(
+            pair,
+            PairOutcome {
+                decision: CopyDecision::from_posterior(posterior),
+                posterior: Some(posterior),
+                c_to: evidence.c_to,
+                c_from: evidence.c_from,
+            },
+        );
+    }
+    result.detection_time = start.elapsed();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairwise::pairwise_detection;
+    use copydet_bayes::ValueProbabilities;
+    use copydet_model::{Dataset, DatasetBuilder};
+
+    const CLAIMS: &[(&str, &str, &str)] = &[
+        ("S0", "D0", "x"),
+        ("S1", "D0", "x"),
+        ("S2", "D0", "y"),
+        ("S0", "D1", "a"),
+        ("S1", "D1", "a"),
+        ("S0", "D2", "q"),
+        ("S1", "D2", "r"),
+        ("S2", "D3", "z"),
+        ("S0", "D3", "z"),
+    ];
+
+    fn dataset(claims: &[(&str, &str, &str)]) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        for (s, d, v) in claims {
+            b.add_claim(s, d, v);
+        }
+        b.build()
+    }
+
+    /// Splitting the items of a dataset into shards (each rebuilt from its
+    /// own claim subsequence, with shard-local ids) and merging reproduces
+    /// the PAIRWISE baseline bit for bit.
+    #[test]
+    fn two_item_shards_merge_to_the_pairwise_baseline() {
+        let global = dataset(CLAIMS);
+        let params = CopyParams::paper_defaults();
+        let accuracies = SourceAccuracies::uniform(global.num_sources(), 0.8).unwrap();
+        let probabilities = ValueProbabilities::uniform_over_dataset(&global, 0.4).unwrap();
+        let baseline =
+            pairwise_detection(&RoundInput::new(&global, &accuracies, &probabilities, params));
+
+        // Partition items by parity of their id.
+        let mut rounds = Vec::new();
+        for parity in 0..2u32 {
+            let shard_claims: Vec<_> = CLAIMS
+                .iter()
+                .filter(|(_, d, _)| global.item_by_name(d).unwrap().raw() % 2 == parity)
+                .copied()
+                .collect();
+            let shard = dataset(&shard_claims);
+            let map = ShardIdMap {
+                sources: shard
+                    .sources()
+                    .map(|s| global.source_by_name(shard.source_name(s)).unwrap())
+                    .collect(),
+                items: shard
+                    .items()
+                    .map(|d| global.item_by_name(shard.item_name(d)).unwrap())
+                    .collect(),
+            };
+            // Shard-local probabilities: look the uniform default up through
+            // the global table so the values agree bitwise.
+            let shard_probs = ValueProbabilities::uniform_over_dataset(&shard, 0.4).unwrap();
+            let shard_accs = SourceAccuracies::uniform(shard.num_sources(), 0.8).unwrap();
+            let counts = SharedItemCounts::build(&shard);
+            let input = RoundInput::new(&shard, &shard_accs, &shard_probs, params);
+            rounds.push(collect_shard_evidence(&input, &counts, &map));
+        }
+
+        let merged = merge_shard_rounds(rounds, &accuracies, params);
+        assert_eq!(merged.algorithm, "SHARDED");
+        assert_eq!(merged.outcomes.len(), baseline.outcomes.len());
+        for (pair, expected) in &baseline.outcomes {
+            let got = merged.outcomes.get(pair).expect("pair must be materialized");
+            assert_eq!(got, expected, "pair {pair} diverged from PAIRWISE");
+        }
+        assert_eq!(merged.counter.score_updates, baseline.counter.score_updates);
+        assert_eq!(merged.counter.pair_finalizations, baseline.counter.pair_finalizations);
+        assert_eq!(merged.shared_values_examined, baseline.shared_values_examined);
+    }
+
+    /// A single shard covering everything degenerates to PAIRWISE exactly.
+    #[test]
+    fn single_shard_is_pairwise() {
+        let global = dataset(CLAIMS);
+        let params = CopyParams::paper_defaults();
+        let accuracies = SourceAccuracies::uniform(global.num_sources(), 0.8).unwrap();
+        let probabilities = ValueProbabilities::uniform_over_dataset(&global, 0.4).unwrap();
+        let input = RoundInput::new(&global, &accuracies, &probabilities, params);
+        let baseline = pairwise_detection(&input);
+        let map =
+            ShardIdMap { sources: global.sources().collect(), items: global.items().collect() };
+        let counts = SharedItemCounts::build(&global);
+        let evidence = collect_shard_evidence(&input, &counts, &map);
+        let merged = merge_shard_rounds(vec![evidence], &accuracies, params);
+        assert_eq!(merged.outcomes, baseline.outcomes);
+    }
+
+    #[test]
+    fn empty_rounds_merge_to_an_empty_result() {
+        let accuracies = SourceAccuracies::uniform(3, 0.8).unwrap();
+        let merged = merge_shard_rounds(
+            vec![ShardRoundEvidence::default()],
+            &accuracies,
+            CopyParams::paper_defaults(),
+        );
+        assert!(merged.outcomes.is_empty());
+        assert_eq!(merged.pairs_considered, 0);
+    }
+}

@@ -65,44 +65,71 @@ pub fn value_probabilities(
     config: &VoteConfig,
 ) -> ValueProbabilities {
     let mut probabilities = ValueProbabilities::new(dataset.num_items());
-    let n_plus_one = config.params.n() + 1.0;
     for item in dataset.items() {
         let groups = dataset.values_of_item(item);
         if groups.is_empty() {
             continue;
         }
-        // Vote count per provided value.
-        let mut votes: Vec<f64> = Vec::with_capacity(groups.len());
-        for group in groups {
-            let mut providers: Vec<SourceId> = group.providers.clone();
-            providers.sort_by(|&a, &b| {
-                accuracies.get(b).partial_cmp(&accuracies.get(a)).expect("accuracies are never NaN")
-            });
-            let mut vote = 0.0;
-            for (idx, &s) in providers.iter().enumerate() {
-                let mut independence = 1.0;
-                for &earlier in &providers[..idx] {
-                    let p_copy = copy_probability(copy_result, SourcePair::new(s, earlier), config);
-                    independence *= 1.0 - config.params.selectivity * p_copy;
-                }
-                vote += config.vote_weight(accuracies.get(s)) * independence;
-            }
-            votes.push(vote);
-        }
-        // Normalize: provided values have weight e^vote, the remaining
-        // (n + 1 − k) candidate values have weight e^0 = 1.
-        let unseen = (n_plus_one - groups.len() as f64).max(0.0);
-        let max_vote = votes.iter().copied().fold(0.0f64, f64::max);
-        let denom: f64 =
-            votes.iter().map(|v| (v - max_vote).exp()).sum::<f64>() + unseen * (-max_vote).exp();
-        for (group, vote) in groups.iter().zip(&votes) {
-            let p = ((vote - max_vote).exp() / denom).clamp(1e-9, 1.0 - 1e-9);
+        let probs = vote_group_probabilities(groups, accuracies, copy_result, config);
+        for (group, p) in groups.iter().zip(probs) {
             probabilities
                 .set(group.item, group.value, p)
                 .expect("probability is clamped into range");
         }
     }
     probabilities
+}
+
+/// The vote-based truth probabilities of one item's value groups, **in the
+/// order given** (one probability per group).
+///
+/// This is the per-item inner step of [`value_probabilities`], exposed on its
+/// own because the normalization sums over the groups in slice order and
+/// floating-point addition is order-sensitive: a caller that needs its
+/// probabilities to agree *bitwise* with another computation over the same
+/// groups (the cross-shard merge layer of `copydet-serve`, whose shard-local
+/// value ids order groups differently than a single global store's) can pass
+/// the groups in the reference order and obtain identical results.
+///
+/// All groups must belong to the same item; the caller is responsible for
+/// passing every provided value of that item, since the normalization counts
+/// the item's unprovided candidate values as `n + 1 − k`. The slice is
+/// generic over [`Borrow`](std::borrow::Borrow) so the single-store loop
+/// passes `&[ItemValueGroup]` directly while a reordering caller passes
+/// `&[&ItemValueGroup]` — neither side allocates to adapt.
+pub fn vote_group_probabilities<G: std::borrow::Borrow<copydet_model::ItemValueGroup>>(
+    groups: &[G],
+    accuracies: &SourceAccuracies,
+    copy_result: Option<&DetectionResult>,
+    config: &VoteConfig,
+) -> Vec<f64> {
+    let n_plus_one = config.params.n() + 1.0;
+    // Vote count per provided value.
+    let mut votes: Vec<f64> = Vec::with_capacity(groups.len());
+    for group in groups {
+        let group = group.borrow();
+        let mut providers: Vec<SourceId> = group.providers.clone();
+        providers.sort_by(|&a, &b| {
+            accuracies.get(b).partial_cmp(&accuracies.get(a)).expect("accuracies are never NaN")
+        });
+        let mut vote = 0.0;
+        for (idx, &s) in providers.iter().enumerate() {
+            let mut independence = 1.0;
+            for &earlier in &providers[..idx] {
+                let p_copy = copy_probability(copy_result, SourcePair::new(s, earlier), config);
+                independence *= 1.0 - config.params.selectivity * p_copy;
+            }
+            vote += config.vote_weight(accuracies.get(s)) * independence;
+        }
+        votes.push(vote);
+    }
+    // Normalize: provided values have weight e^vote, the remaining
+    // (n + 1 − k) candidate values have weight e^0 = 1.
+    let unseen = (n_plus_one - groups.len() as f64).max(0.0);
+    let max_vote = votes.iter().copied().fold(0.0f64, f64::max);
+    let denom: f64 =
+        votes.iter().map(|v| (v - max_vote).exp()).sum::<f64>() + unseen * (-max_vote).exp();
+    votes.iter().map(|vote| ((vote - max_vote).exp() / denom).clamp(1e-9, 1.0 - 1e-9)).collect()
 }
 
 /// Recomputes every source's accuracy as the mean probability of the values

@@ -20,6 +20,13 @@
 //! [`CodecError`] — never a panic — which is what lets the store treat
 //! arbitrary on-disk bytes as untrusted input.
 //!
+//! The same primitives carry the **serving wire protocol**: request and
+//! response payloads travel as checksummed frames
+//! (`[kind][len][payload][crc32]`, see [`encode_wire_frame`] /
+//! [`decode_wire_frame`]), sized for a stream reader that learns the body
+//! length from the fixed [`WIRE_HEADER_LEN`]-byte header and bounded by
+//! [`MAX_WIRE_FRAME_LEN`] so hostile peers cannot drive allocations.
+//!
 //! [`Interner`]: crate::Interner
 
 use crate::ids::{ItemId, SourceId, ValueId};
@@ -48,10 +55,18 @@ pub enum CodecError {
         /// Byte offset of the first invalid byte within the string.
         valid_up_to: usize,
     },
-    /// A string length exceeded [`MAX_STR_LEN`] (encode or decode side).
+    /// A string length exceeded [`MAX_STR_LEN`] (encode or decode side), or
+    /// a wire-frame length exceeded [`MAX_WIRE_FRAME_LEN`].
     StringTooLong {
         /// The offending length in bytes.
         len: usize,
+    },
+    /// A wire frame's checksum did not match its payload.
+    ChecksumMismatch {
+        /// The checksum carried by the frame.
+        stored: u32,
+        /// The checksum computed over the received payload.
+        computed: u32,
     },
 }
 
@@ -66,6 +81,9 @@ impl fmt::Display for CodecError {
             }
             CodecError::StringTooLong { len } => {
                 write!(f, "string of {len} bytes exceeds the {MAX_STR_LEN}-byte limit")
+            }
+            CodecError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: frame carries {stored:#010x}, payload computes {computed:#010x}")
             }
         }
     }
@@ -107,6 +125,123 @@ pub fn put_claim(out: &mut Vec<u8>, claim: &Claim) {
     put_u32(out, claim.source.raw());
     put_u32(out, claim.item.raw());
     put_u32(out, claim.value.raw());
+}
+
+// ---------------------------------------------------------------------------
+// Wire frames
+// ---------------------------------------------------------------------------
+
+/// Upper bound on a wire-frame payload (16 MiB): a corrupted or hostile
+/// length prefix is rejected before any allocation.
+pub const MAX_WIRE_FRAME_LEN: u32 = 1 << 24;
+
+/// Byte length of a wire-frame header (`kind` + payload length).
+pub const WIRE_HEADER_LEN: usize = 5;
+
+/// Frames a request/response payload for the serving wire protocol:
+///
+/// ```text
+/// [kind: u8][len: u32][payload: len bytes][crc32(payload): u32]
+/// ```
+///
+/// The header is fixed-size so a stream reader can read exactly
+/// [`WIRE_HEADER_LEN`] bytes, learn the remaining length, and then read
+/// `len + 4` more; [`decode_wire_frame`] validates the reassembled frame.
+/// `kind` identifies the request/response type — the codec does not
+/// interpret it.
+///
+/// # Panics
+/// Panics if `payload` exceeds [`MAX_WIRE_FRAME_LEN`] bytes; wire payloads
+/// are built by the caller, so an oversized one is a programming error, not
+/// hostile input.
+pub fn encode_wire_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() as u64 <= MAX_WIRE_FRAME_LEN as u64,
+        "wire payload of {} bytes exceeds the {MAX_WIRE_FRAME_LEN}-byte frame limit",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(WIRE_HEADER_LEN + payload.len() + 4);
+    put_u8(&mut out, kind);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    put_u32(&mut out, crc32_ieee(payload));
+    out
+}
+
+/// Decodes the declared payload length from a wire-frame header, bounding it
+/// by [`MAX_WIRE_FRAME_LEN`]. Returns the number of bytes that follow the
+/// header (payload + checksum).
+///
+/// # Errors
+/// [`CodecError::Truncated`] if fewer than [`WIRE_HEADER_LEN`] bytes are
+/// given; [`CodecError::StringTooLong`] (reusing the bounded-length error)
+/// if the declared length exceeds the frame limit.
+pub fn wire_frame_body_len(header: &[u8; WIRE_HEADER_LEN]) -> Result<usize, CodecError> {
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]);
+    if len > MAX_WIRE_FRAME_LEN {
+        return Err(CodecError::StringTooLong { len: len as usize });
+    }
+    Ok(len as usize + 4)
+}
+
+/// Validates a complete wire frame (header + payload + checksum) and returns
+/// `(kind, payload)`.
+///
+/// # Errors
+/// [`CodecError::Truncated`] if the bytes end before the declared payload
+/// and checksum, [`CodecError::StringTooLong`] for an over-limit length,
+/// [`CodecError::ChecksumMismatch`] when the payload fails its CRC.
+pub fn decode_wire_frame(bytes: &[u8]) -> Result<(u8, &[u8]), CodecError> {
+    if bytes.len() < WIRE_HEADER_LEN {
+        return Err(CodecError::Truncated { needed: WIRE_HEADER_LEN, have: bytes.len() });
+    }
+    let kind = bytes[0];
+    let len = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+    if len > MAX_WIRE_FRAME_LEN {
+        return Err(CodecError::StringTooLong { len: len as usize });
+    }
+    let total = WIRE_HEADER_LEN + len as usize + 4;
+    if bytes.len() < total {
+        return Err(CodecError::Truncated { needed: total, have: bytes.len() });
+    }
+    let payload = &bytes[WIRE_HEADER_LEN..WIRE_HEADER_LEN + len as usize];
+    let stored = u32::from_le_bytes([
+        bytes[total - 4],
+        bytes[total - 3],
+        bytes[total - 2],
+        bytes[total - 1],
+    ]);
+    let actual = crc32_ieee(payload);
+    if stored != actual {
+        return Err(CodecError::ChecksumMismatch { stored, computed: actual });
+    }
+    Ok((kind, payload))
+}
+
+const WIRE_CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE 802.3) of `bytes` — the checksum of wire frames, shared with
+/// the store's on-disk envelopes.
+pub fn crc32_ieee(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ WIRE_CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
 }
 
 /// A cursor over an immutable byte slice, yielding typed values.
@@ -291,5 +426,54 @@ mod tests {
         assert!(CodecError::Truncated { needed: 4, have: 1 }.to_string().contains("needed 4"));
         assert!(CodecError::Utf8 { valid_up_to: 2 }.to_string().contains("UTF-8"));
         assert!(CodecError::StringTooLong { len: 9 }.to_string().contains("9 bytes"));
+        assert!(CodecError::ChecksumMismatch { stored: 1, computed: 2 }
+            .to_string()
+            .contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn wire_frame_roundtrip_and_validation() {
+        let mut payload = Vec::new();
+        put_str(&mut payload, "hello").unwrap();
+        put_u32(&mut payload, 42);
+        let frame = encode_wire_frame(7, &payload);
+        assert_eq!(frame.len(), WIRE_HEADER_LEN + payload.len() + 4);
+
+        // The header alone predicts the body length for a stream reader.
+        let header: [u8; WIRE_HEADER_LEN] = frame[..WIRE_HEADER_LEN].try_into().unwrap();
+        assert_eq!(wire_frame_body_len(&header).unwrap(), payload.len() + 4);
+
+        let (kind, got) = decode_wire_frame(&frame).unwrap();
+        assert_eq!(kind, 7);
+        assert_eq!(got, payload.as_slice());
+
+        // Truncations are truncation, not corruption.
+        assert!(matches!(
+            decode_wire_frame(&frame[..frame.len() - 1]),
+            Err(CodecError::Truncated { .. })
+        ));
+        assert!(matches!(decode_wire_frame(&frame[..3]), Err(CodecError::Truncated { .. })));
+
+        // A flipped payload bit fails the checksum.
+        let mut flipped = frame.clone();
+        flipped[WIRE_HEADER_LEN + 1] ^= 0x04;
+        assert!(matches!(decode_wire_frame(&flipped), Err(CodecError::ChecksumMismatch { .. })));
+
+        // A hostile length prefix is rejected before any allocation.
+        let mut huge = frame;
+        huge[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_wire_frame(&huge), Err(CodecError::StringTooLong { .. })));
+        let header: [u8; WIRE_HEADER_LEN] = huge[..WIRE_HEADER_LEN].try_into().unwrap();
+        assert!(matches!(wire_frame_body_len(&header), Err(CodecError::StringTooLong { .. })));
+
+        // Empty payloads are legal frames (SHUTDOWN, STATS requests).
+        let empty = encode_wire_frame(4, &[]);
+        assert_eq!(decode_wire_frame(&empty).unwrap(), (4, &[][..]));
+    }
+
+    #[test]
+    fn crc32_ieee_known_vectors() {
+        assert_eq!(crc32_ieee(b""), 0);
+        assert_eq!(crc32_ieee(b"123456789"), 0xCBF4_3926);
     }
 }

@@ -1,0 +1,229 @@
+//! Fan-out detection rounds over a [`ShardedStore`] and the cross-shard
+//! merge into global copy decisions.
+
+use crate::shard::{ShardMaps, ShardedStore};
+use copydet_bayes::{SourceAccuracies, ValueProbabilities};
+use copydet_detect::{collect_shard_evidence, merge_shard_rounds, DetectionResult};
+use copydet_fusion::{vote_group_probabilities, VoteConfig};
+use copydet_model::{Dataset, ItemValueGroup};
+use copydet_store::LiveConfig;
+
+/// Runs copy detection over an item-partitioned store: one evidence scan per
+/// shard, fanned out across threads, then an exact merge.
+///
+/// Each round:
+///
+/// 1. **Capture** — every shard's snapshot and shared-item counts are taken
+///    together under that shard's lock
+///    ([`ShardedStore::capture_shards`]); everything after runs without any
+///    store lock, so writers keep streaming while the round computes.
+/// 2. **Fan-out** — per shard, in a [`std::thread::scope`]: the round state
+///    is bootstrapped like
+///    [`LiveDetector::prepare`](copydet_store::LiveDetector::prepare)
+///    (uniform accuracies over a self-contained
+///    [`OwnedRoundInput`](copydet_detect::OwnedRoundInput) dataset handle),
+///    except that the value vote runs with each item's groups ordered by
+///    **global** value id (see below) — voting locally first and redoing it
+///    would double the bootstrap cost for a result that gets discarded.
+///    Then the shard's overlap evidence is collected — only pairs the
+///    shard's counts say share an item are visited.
+/// 3. **Merge** — per-shard evidence is folded into global pairwise scores
+///    in global item order and the posterior of Eq. 2 decides
+///    ([`merge_shard_rounds`]).
+///
+/// Shards are item-disjoint, so the merged result is **bit-identical** to
+/// running the exact PAIRWISE baseline on a single store fed the same
+/// stream — not merely equal in decisions, equal in every score and
+/// posterior bit. Two orderings make that work: per-pair observations fold
+/// in global item-id order, and each item's vote normalization sums its
+/// value groups in global value-id order (shard-local interning orders both
+/// differently, and floating-point addition is order-sensitive). The
+/// equivalence proptest in `tests/shard_equivalence.rs` asserts exactly
+/// this against `pairwise_detection`.
+#[derive(Debug, Default)]
+pub struct ShardedDetector {
+    config: LiveConfig,
+    rounds: usize,
+}
+
+impl ShardedDetector {
+    /// A detector with the default [`LiveConfig`].
+    pub fn new() -> Self {
+        Self::with_config(LiveConfig::default())
+    }
+
+    /// A detector with a custom configuration (`params` and
+    /// `initial_accuracy` drive the bootstrap; the incremental settings are
+    /// unused — every sharded round is exact).
+    pub fn with_config(config: LiveConfig) -> Self {
+        Self { config, rounds: 0 }
+    }
+
+    /// Number of detection rounds run so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// One detection round over the store's current state. Snapshots are
+    /// captured per shard (each under its own lock); the scans and the
+    /// merge run entirely unlocked.
+    pub fn detect_round(&mut self, store: &ShardedStore) -> DetectionResult {
+        let captures = store.capture_shards();
+        self.detect_captured(store, &captures)
+    }
+
+    /// One detection round over an explicit capture (from
+    /// [`ShardedStore::capture_shards`]). Exposed so equivalence and stress
+    /// tests can run the round and an independent baseline over the *same*
+    /// frozen state while writers keep mutating the store.
+    pub fn detect_captured(
+        &mut self,
+        store: &ShardedStore,
+        captures: &[(
+            copydet_store::StoreSnapshot,
+            std::sync::Arc<copydet_index::SharedItemCounts>,
+        )],
+    ) -> DetectionResult {
+        let maps: Vec<ShardMaps> =
+            captures.iter().map(|(snapshot, _)| store.maps_for(snapshot)).collect();
+        // Sized after the maps are built, so every mapped id is covered.
+        let accuracies =
+            SourceAccuracies::uniform(store.num_sources(), self.config.initial_accuracy)
+                .expect("initial accuracy is a probability");
+        let vote_config = VoteConfig::new(self.config.params);
+        let initial_accuracy = self.config.initial_accuracy;
+        let params = self.config.params;
+        let evidence = std::thread::scope(|scope| {
+            let handles: Vec<_> = captures
+                .iter()
+                .zip(&maps)
+                .map(|((snapshot, counts), map)| {
+                    let vote_config = &vote_config;
+                    scope.spawn(move || {
+                        // The same bootstrap `LiveDetector::prepare` builds,
+                        // assembled directly so the vote is computed once —
+                        // in global value order (prepare's locally-ordered
+                        // vote would just be discarded).
+                        let shard_accuracies = SourceAccuracies::uniform(
+                            snapshot.dataset.num_sources(),
+                            initial_accuracy,
+                        )
+                        .expect("initial accuracy is a probability");
+                        let probabilities = globally_ordered_vote(
+                            &snapshot.dataset,
+                            &shard_accuracies,
+                            map,
+                            vote_config,
+                        );
+                        let input = copydet_detect::OwnedRoundInput {
+                            dataset: snapshot.dataset.clone(),
+                            accuracies: shard_accuracies,
+                            probabilities,
+                            params,
+                            delta: None,
+                        };
+                        collect_shard_evidence(&input.as_round_input(), counts, &map.ids)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("shard evidence scan panicked"))
+                .collect()
+        });
+        self.rounds += 1;
+        merge_shard_rounds(evidence, &accuracies, self.config.params)
+    }
+}
+
+/// The vote bootstrap over one shard's snapshot, with each item's value
+/// groups voted in **global value-id order**.
+///
+/// The vote normalizes an item's group weights by summing them in sequence;
+/// a single global store iterates groups in global value-id order, while a
+/// shard's local ids can order the same groups differently (a value string's
+/// local id depends on which *other* items the shard saw first). Reordering
+/// by global id before the fold makes the probabilities — and everything
+/// downstream of them — bit-identical to the single-store run.
+fn globally_ordered_vote(
+    dataset: &Dataset,
+    accuracies: &SourceAccuracies,
+    map: &ShardMaps,
+    config: &VoteConfig,
+) -> ValueProbabilities {
+    let mut probabilities = ValueProbabilities::new(dataset.num_items());
+    for item in dataset.items() {
+        let groups = dataset.values_of_item(item);
+        if groups.is_empty() {
+            continue;
+        }
+        let mut ordered: Vec<&ItemValueGroup> = groups.iter().collect();
+        ordered.sort_by_key(|g| map.values[g.value.index()]);
+        let probs = vote_group_probabilities(&ordered, accuracies, None, config);
+        for (group, p) in ordered.iter().zip(probs) {
+            probabilities.set(group.item, group.value, p).expect("vote probability is clamped");
+        }
+    }
+    probabilities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copydet_bayes::CopyParams;
+    use copydet_detect::{pairwise_detection, RoundInput};
+    use copydet_fusion::value_probabilities;
+    use copydet_model::{DatasetBuilder, SourcePair};
+
+    /// A small planted-copier stream: S0 and S3 share distinctive false
+    /// values on every item, the others vote independently.
+    fn stream() -> Vec<(String, String, String)> {
+        let mut claims = Vec::new();
+        for j in 0..12 {
+            for k in 0..5 {
+                let value = match k {
+                    0 | 3 => format!("false-{j}"),
+                    _ => format!("true-{j}"),
+                };
+                claims.push((format!("S{k}"), format!("D{j}"), value));
+            }
+        }
+        claims
+    }
+
+    fn baseline(claims: &[(String, String, String)]) -> DetectionResult {
+        let mut b = DatasetBuilder::new();
+        for (s, d, v) in claims {
+            b.add_claim(s, d, v);
+        }
+        let ds = b.build();
+        let params = CopyParams::paper_defaults();
+        let accuracies = SourceAccuracies::uniform(ds.num_sources(), 0.8).unwrap();
+        let probabilities = value_probabilities(&ds, &accuracies, None, &VoteConfig::new(params));
+        pairwise_detection(&RoundInput::new(&ds, &accuracies, &probabilities, params))
+    }
+
+    #[test]
+    fn sharded_round_is_bit_identical_to_pairwise_for_1_2_4_shards() {
+        let claims = stream();
+        let expected = baseline(&claims);
+        for shards in [1usize, 2, 4] {
+            let store = ShardedStore::new(shards);
+            store.ingest_batch(claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())));
+            let mut detector = ShardedDetector::new();
+            let got = detector.detect_round(&store);
+            assert_eq!(detector.rounds(), 1);
+            assert_eq!(got.outcomes.len(), expected.outcomes.len(), "{shards} shard(s)");
+            for (pair, outcome) in &expected.outcomes {
+                assert_eq!(
+                    got.outcomes.get(pair),
+                    Some(outcome),
+                    "{shards} shard(s): pair {pair} diverged bitwise"
+                );
+            }
+            // The planted pair is caught.
+            let copying: Vec<SourcePair> = got.copying_pairs().collect();
+            assert!(!copying.is_empty(), "{shards} shard(s): planted copiers detected");
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The serving frontend: a std-only TCP request loop speaking a small
+//! length-prefixed binary protocol, plus the matching client.
+//!
+//! ## Wire protocol
+//!
+//! Every message is one checksummed frame from
+//! [`copydet_model::codec`] (`[kind: u8][len: u32][payload][crc32]`, see
+//! [`codec::encode_wire_frame`]). Requests:
+//!
+//! | kind | request | payload |
+//! |------|---------|---------|
+//! | `0x01` | INGEST | `u32 n`, then `n × (str source, str item, str value)` |
+//! | `0x02` | STATS | empty |
+//! | `0x03` | DETECT | empty |
+//! | `0x04` | SHUTDOWN | empty |
+//!
+//! Responses are `0x80` (OK, payload per request kind) or `0x81` (error,
+//! `str` message). Strings are the codec's length-prefixed UTF-8, bounded
+//! by [`codec::MAX_STR_LEN`]; whole frames are bounded by
+//! [`codec::MAX_WIRE_FRAME_LEN`], so a hostile peer can neither drive an
+//! allocation nor wedge the reader.
+//!
+//! ## Threading
+//!
+//! One accept thread, one handler thread per connection. Each INGEST batch
+//! goes through [`ShardedStore::ingest_batch`], which splits the batch by
+//! item partition and applies each shard's slice under a single shard-lock
+//! acquisition — the per-shard batching that lets many concurrent clients
+//! stream without convoying on one mutex. DETECT runs a full
+//! [`ShardedDetector`] round (fan-out scan + merge) outside every store
+//! lock.
+
+use crate::detector::ShardedDetector;
+use crate::shard::ShardedStore;
+use copydet_model::codec::{self, CodecError, Reader};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Request kind: ingest a claim batch.
+pub const REQ_INGEST: u8 = 0x01;
+/// Request kind: fleet statistics.
+pub const REQ_STATS: u8 = 0x02;
+/// Request kind: run a detection round.
+pub const REQ_DETECT: u8 = 0x03;
+/// Request kind: stop the server.
+pub const REQ_SHUTDOWN: u8 = 0x04;
+/// Response kind: success.
+pub const RESP_OK: u8 = 0x80;
+/// Response kind: failure (payload is the message).
+pub const RESP_ERR: u8 = 0x81;
+
+fn invalid(e: CodecError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Writes one frame to a stream.
+fn write_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> io::Result<()> {
+    stream.write_all(&codec::encode_wire_frame(kind, payload))
+}
+
+/// Reads one frame from a stream; `Ok(None)` on a clean EOF before the
+/// first header byte. An EOF *inside* a header or body is a torn frame and
+/// surfaces as `UnexpectedEof` like any other truncation.
+fn read_frame(stream: &mut TcpStream) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut header = [0u8; codec::WIRE_HEADER_LEN];
+    // The first byte decides clean-close vs torn frame, so it is read on
+    // its own: read_exact cannot tell "0 bytes then EOF" from "3 bytes
+    // then EOF".
+    match stream.read(&mut header[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(stream),
+        Err(e) => return Err(e),
+    }
+    stream.read_exact(&mut header[1..])?;
+    let body_len = codec::wire_frame_body_len(&header).map_err(invalid)?;
+    let mut frame = Vec::with_capacity(codec::WIRE_HEADER_LEN + body_len);
+    frame.extend_from_slice(&header);
+    frame.resize(codec::WIRE_HEADER_LEN + body_len, 0);
+    stream.read_exact(&mut frame[codec::WIRE_HEADER_LEN..])?;
+    let (kind, payload) = codec::decode_wire_frame(&frame).map_err(invalid)?;
+    Ok(Some((kind, payload.to_vec())))
+}
+
+/// Per-shard statistics as reported over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireShardStats {
+    /// Snapshots taken by the shard.
+    pub epoch: u64,
+    /// Live `(source, item)` claims in the shard.
+    pub live_claims: u64,
+    /// Sources known to the shard.
+    pub num_sources: u32,
+    /// Items routed to the shard.
+    pub num_items: u32,
+    /// Distinct values in the shard.
+    pub num_values: u32,
+    /// Sealed segments in the shard.
+    pub sealed_segments: u32,
+    /// Claims still in the shard's growing segment.
+    pub growing_claims: u64,
+    /// `true` if the shard persists to disk.
+    pub durable: bool,
+}
+
+/// One copying pair as reported over the wire (source names, since the
+/// client has no id space).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireCopyingPair {
+    /// First source of the pair (smaller global id).
+    pub first: String,
+    /// Second source of the pair.
+    pub second: String,
+    /// Posterior probability of independence.
+    pub posterior: f64,
+}
+
+/// A detection round's result as reported over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDetection {
+    /// Pairs for which evidence was materialized.
+    pub pairs_considered: u64,
+    /// Pairs decided as copying.
+    pub copying: Vec<WireCopyingPair>,
+}
+
+/// The registry of live connections: a socket handle to interrupt each
+/// blocked reader with, plus the handler thread to join.
+type Connections = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// A running frontend: bound address plus the accept thread.
+///
+/// The server stops when [`shutdown`](Self::shutdown) is called or a client
+/// sends `SHUTDOWN`; `shutdown` additionally closes every open connection
+/// and joins its handler thread, so when it returns **no** thread still
+/// holds a clone of the store — on a durable fleet the shard directory
+/// locks are free to reopen. Dropping the handle without `shutdown` leaves
+/// the accept thread running (detached) — tests and the demo always shut
+/// down explicitly.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Connections,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Returns `true` once the server has been asked to stop.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting connections, closes every open connection, and joins
+    /// the accept and handler threads. When this returns, no server thread
+    /// holds a reference to the store.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // A throwaway connection unblocks the accept loop so it can observe
+        // the stop flag.
+        let _ = TcpStream::connect(wake_addr(self.addr));
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Interrupt handlers blocked in a read, then wait for each to drop
+        // its store clone.
+        let connections = std::mem::take(&mut *self.connections.lock().expect("registry poisoned"));
+        for (stream, handle) in connections {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Serves a [`ShardedStore`] on `addr` (`127.0.0.1:0` picks a free port).
+///
+/// Returns once the listener is bound; the accept loop runs on its own
+/// thread and every connection gets a handler thread (registered so
+/// [`ServerHandle::shutdown`] can close and join it). All request handling
+/// is std-only (no async runtime): the workload is lock-amortized batch
+/// ingest plus occasional detection rounds, where a thread per connection
+/// is the simplest correct concurrency model.
+pub fn serve(store: ShardedStore, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let connections: Connections = Arc::new(Mutex::new(Vec::new()));
+    let accept_stop = Arc::clone(&stop);
+    let accept_connections = Arc::clone(&connections);
+    let accept_thread = std::thread::spawn(move || {
+        for connection in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = connection else { continue };
+            let store = store.clone();
+            let stop = Arc::clone(&accept_stop);
+            let server_addr = addr;
+            let handler_connections = Arc::clone(&accept_connections);
+            let Ok(interrupt) = stream.try_clone() else { continue };
+            let handler = std::thread::spawn(move || {
+                let _ = handle_connection(stream, store, stop, server_addr, handler_connections);
+            });
+            let mut registry = accept_connections.lock().expect("registry poisoned");
+            // Reap finished handlers so a long-lived server's registry holds
+            // only live connections.
+            registry.retain(|(_, handle)| !handle.is_finished());
+            registry.push((interrupt, handler));
+        }
+    });
+    Ok(ServerHandle { addr, stop, accept_thread: Some(accept_thread), connections })
+}
+
+/// Serves one connection until EOF, error, or SHUTDOWN.
+fn handle_connection(
+    mut stream: TcpStream,
+    store: ShardedStore,
+    stop: Arc<AtomicBool>,
+    server_addr: SocketAddr,
+    connections: Connections,
+) -> io::Result<()> {
+    while let Some((kind, payload)) = read_frame(&mut stream)? {
+        match kind {
+            REQ_INGEST => match decode_ingest(&payload) {
+                Ok(claims) => {
+                    // The response carries the batch's own accepted count —
+                    // a fleet-wide total would re-acquire every shard mutex
+                    // right after the batch released them, doubling
+                    // cross-shard lock traffic for a number that is stale
+                    // the moment it is read (STATS reports live totals).
+                    let accepted = store.ingest_batch(
+                        claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())),
+                    );
+                    let mut out = Vec::new();
+                    codec::put_u64(&mut out, accepted as u64);
+                    write_frame(&mut stream, RESP_OK, &out)?;
+                }
+                Err(e) => {
+                    write_error(&mut stream, &format!("bad INGEST payload: {e}"))?;
+                }
+            },
+            REQ_STATS => {
+                let mut out = Vec::new();
+                let stats = store.shard_stats();
+                codec::put_u32(&mut out, stats.len() as u32);
+                for s in stats {
+                    codec::put_u64(&mut out, s.epoch);
+                    codec::put_u64(&mut out, s.live_claims as u64);
+                    codec::put_u32(&mut out, s.num_sources as u32);
+                    codec::put_u32(&mut out, s.num_items as u32);
+                    codec::put_u32(&mut out, s.num_values as u32);
+                    codec::put_u32(&mut out, s.sealed_segments as u32);
+                    codec::put_u64(&mut out, s.growing_claims as u64);
+                    codec::put_u8(&mut out, u8::from(s.durable));
+                }
+                write_frame(&mut stream, RESP_OK, &out)?;
+            }
+            REQ_DETECT => {
+                let result = ShardedDetector::new().detect_round(&store);
+                // Pair ids live in the global registry's id space; the
+                // read-locked name list resolves them in O(sources) without
+                // stalling concurrent ingest batches.
+                let names = store.global_source_names();
+                let mut out = Vec::new();
+                codec::put_u64(&mut out, result.pairs_considered as u64);
+                let mut copying: Vec<_> =
+                    result.outcomes.iter().filter(|(_, o)| o.decision.is_copying()).collect();
+                copying.sort_by_key(|(pair, _)| **pair);
+                codec::put_u32(&mut out, copying.len() as u32);
+                let mut encode = || -> Result<(), CodecError> {
+                    for (pair, outcome) in &copying {
+                        codec::put_str(&mut out, &names[pair.first().index()])?;
+                        codec::put_str(&mut out, &names[pair.second().index()])?;
+                        codec::put_u64(&mut out, outcome.posterior.unwrap_or(0.0).to_bits());
+                    }
+                    Ok(())
+                };
+                match encode() {
+                    // The response size is data-dependent (every copying
+                    // pair carries two names): an over-limit payload must be
+                    // a typed protocol error, not the encode_wire_frame
+                    // assertion killing the handler thread.
+                    Ok(()) if out.len() as u64 <= codec::MAX_WIRE_FRAME_LEN as u64 => {
+                        write_frame(&mut stream, RESP_OK, &out)?
+                    }
+                    Ok(()) => write_error(
+                        &mut stream,
+                        &format!(
+                            "DETECT response of {} bytes exceeds the {}-byte frame limit ({} \
+                             copying pairs); run detection in-process for results this large",
+                            out.len(),
+                            codec::MAX_WIRE_FRAME_LEN,
+                            copying.len()
+                        ),
+                    )?,
+                    Err(e) => write_error(&mut stream, &format!("DETECT encoding failed: {e}"))?,
+                }
+            }
+            REQ_SHUTDOWN => {
+                stop.store(true, Ordering::SeqCst);
+                write_frame(&mut stream, RESP_OK, &[])?;
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect(wake_addr(server_addr));
+                // A wire SHUTDOWN quiesces the whole server, not just this
+                // connection: close every *other* registered connection so
+                // their handlers exit and release their store clones (this
+                // one's response is already written; skipping it keeps the
+                // OK from being discarded by an abortive close).
+                let own = stream.peer_addr().ok();
+                let registry = connections.lock().expect("registry poisoned");
+                for (other, _) in registry.iter() {
+                    if own.is_none() || other.peer_addr().ok() != own {
+                        let _ = other.shutdown(std::net::Shutdown::Both);
+                    }
+                }
+                break;
+            }
+            other => {
+                write_error(&mut stream, &format!("unknown request kind {other:#04x}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The address a throwaway self-connection should dial to unblock the
+/// accept loop: the listener's own address, except that a wildcard bind
+/// (`0.0.0.0` / `::`) is not connectable on every platform, so it is
+/// rewritten to the matching loopback.
+fn wake_addr(mut addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
+}
+
+fn write_error(stream: &mut TcpStream, message: &str) -> io::Result<()> {
+    let mut out = Vec::new();
+    codec::put_str(&mut out, message).map_err(invalid)?;
+    write_frame(stream, RESP_ERR, &out)
+}
+
+fn decode_ingest(payload: &[u8]) -> Result<Vec<(String, String, String)>, String> {
+    let mut r = Reader::new(payload);
+    let n = r.u32().map_err(|e| e.to_string())? as usize;
+    let mut claims = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let mut field = || r.string().map_err(|e| e.to_string());
+        claims.push((field()?, field()?, field()?));
+    }
+    if !r.is_empty() {
+        return Err(format!("{} trailing byte(s) after the declared {n} claim(s)", r.remaining()));
+    }
+    Ok(claims)
+}
+
+/// A blocking client for the serving frontend.
+///
+/// One request in flight at a time (the protocol is strictly
+/// request/response per connection); open more clients for concurrency.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a frontend.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(Self { stream: TcpStream::connect(addr)? })
+    }
+
+    fn request(&mut self, kind: u8, payload: &[u8]) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, kind, payload)?;
+        match read_frame(&mut self.stream)? {
+            Some((RESP_OK, payload)) => Ok(payload),
+            Some((RESP_ERR, payload)) => {
+                let message = Reader::new(&payload).string().map_err(invalid)?;
+                Err(io::Error::other(format!("server error: {message}")))
+            }
+            Some((kind, _)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response kind {kind:#04x}"),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the response",
+            )),
+        }
+    }
+
+    /// Ingests a batch of claims; returns the number of claims the server
+    /// accepted from this batch (use [`stats`](Self::stats) for fleet
+    /// totals).
+    pub fn ingest(&mut self, claims: &[(&str, &str, &str)]) -> io::Result<u64> {
+        let mut payload = Vec::new();
+        codec::put_u32(&mut payload, claims.len() as u32);
+        for (s, d, v) in claims {
+            codec::put_str(&mut payload, s).map_err(invalid)?;
+            codec::put_str(&mut payload, d).map_err(invalid)?;
+            codec::put_str(&mut payload, v).map_err(invalid)?;
+        }
+        let resp = self.request(REQ_INGEST, &payload)?;
+        Reader::new(&resp).u64().map_err(invalid)
+    }
+
+    /// Fetches per-shard statistics.
+    pub fn stats(&mut self) -> io::Result<Vec<WireShardStats>> {
+        let resp = self.request(REQ_STATS, &[])?;
+        let mut r = Reader::new(&resp);
+        let decode = |r: &mut Reader<'_>| -> Result<Vec<WireShardStats>, CodecError> {
+            let n = r.u32()? as usize;
+            let mut shards = Vec::with_capacity(n.min(1 << 12));
+            for _ in 0..n {
+                shards.push(WireShardStats {
+                    epoch: r.u64()?,
+                    live_claims: r.u64()?,
+                    num_sources: r.u32()?,
+                    num_items: r.u32()?,
+                    num_values: r.u32()?,
+                    sealed_segments: r.u32()?,
+                    growing_claims: r.u64()?,
+                    durable: r.u8()? != 0,
+                });
+            }
+            Ok(shards)
+        };
+        decode(&mut r).map_err(invalid)
+    }
+
+    /// Runs a detection round on the server and returns the copying pairs
+    /// (by source name, ordered by global pair id).
+    pub fn detect(&mut self) -> io::Result<WireDetection> {
+        let resp = self.request(REQ_DETECT, &[])?;
+        let mut r = Reader::new(&resp);
+        let decode = |r: &mut Reader<'_>| -> Result<WireDetection, CodecError> {
+            let pairs_considered = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut copying = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                copying.push(WireCopyingPair {
+                    first: r.string()?,
+                    second: r.string()?,
+                    posterior: f64::from_bits(r.u64()?),
+                });
+            }
+            Ok(WireDetection { pairs_considered, copying })
+        };
+        decode(&mut r).map_err(invalid)
+    }
+
+    /// Asks the server to stop accepting connections.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.request(REQ_SHUTDOWN, &[]).map(|_| ())
+    }
+}

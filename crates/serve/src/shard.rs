@@ -1,0 +1,595 @@
+//! The sharded store: item-partitioned [`SharedClaimStore`] shards behind a
+//! global name registry, plus the [`Router`] that batches claims per shard.
+
+use copydet_index::SharedItemCounts;
+use copydet_model::{ItemId, NameTable, SourceId, SourcePair};
+use copydet_store::{SharedClaimStore, StoreConfig, StoreIoError, StoreSnapshot, StoreStats};
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// FNV-1a 64-bit hash — the partitioning hash of the sharded store.
+///
+/// Deliberately *not* `DefaultHasher`: the item → shard assignment is part
+/// of the durable layout (each shard persists its own directory), so it must
+/// be stable across processes, architectures and Rust versions.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The shard an item name lands on, out of `num_shards`.
+pub fn partition_of(item: &str, num_shards: usize) -> usize {
+    (fnv1a64(item.as_bytes()) % num_shards as u64) as usize
+}
+
+/// Name of the shard-count file inside a durable sharded-store root.
+const SHARDS_FILE: &str = "SHARDS";
+
+/// The global name registry: every source, item and value name seen by the
+/// router, interned in arrival order.
+///
+/// Shards intern independently (each is a self-contained [`ClaimStore`]
+/// with dense local ids); the registry provides the *global* id space the
+/// cross-shard merge ranks by. Because names are interned here before the
+/// claim reaches its shard, a fresh single store fed the same claim stream
+/// assigns identical ids — the property the bit-identical shard-equivalence
+/// tests rest on.
+#[derive(Debug, Default)]
+struct GlobalTables {
+    sources: NameTable,
+    items: NameTable,
+    values: NameTable,
+}
+
+/// Local-to-global id translation for one shard snapshot, extending the
+/// detect-layer [`ShardIdMap`](copydet_detect::ShardIdMap) with the value
+/// map the globally-ordered vote needs.
+#[derive(Debug, Clone, Default)]
+pub struct ShardMaps {
+    /// Source and item translation (the merge-layer input).
+    pub ids: copydet_detect::ShardIdMap,
+    /// Global value index of each local value id.
+    pub values: Vec<usize>,
+}
+
+/// A store hash-partitioned by **data item** across N [`SharedClaimStore`]
+/// shards.
+///
+/// Every claim for one item lands on the same shard (items are routed by a
+/// stable FNV-1a hash of the item name), so shards are item-disjoint: each
+/// shard's inverted index, shared-item counts and per-pair evidence cover a
+/// disjoint slice of the item space, and cross-shard detection is an exact
+/// merge (see `copydet_detect::merge_shard_rounds`). Sources are *not*
+/// partitioned — one source's claims spread over many shards — which is
+/// what the global name registry reconciles.
+///
+/// Handles are cheap clones sharing the shards and the registry. Each shard
+/// has its own mutex, so writers touching different shards proceed in
+/// parallel; the global registry is read-mostly — a batch whose names are
+/// all already registered (the steady state) only takes the shared read
+/// lock, so name bookkeeping does not serialize concurrent writers.
+///
+/// A sharded store is in-memory ([`new`](Self::new)) or durable
+/// ([`open`](Self::open)): durable shards live in `shard-000/`, `shard-001/`,
+/// … under one root, each with its own WAL, segments and manifest, so shard
+/// recovery is independent — one shard's directory can be restarted or
+/// repaired without touching the others.
+#[derive(Debug, Clone)]
+pub struct ShardedStore {
+    shards: Arc<Vec<SharedClaimStore>>,
+    /// Read-mostly: batches whose names are all already registered (the
+    /// steady state of a serving workload) take only the shared read lock,
+    /// so concurrent writers contend on their shard mutexes, not here.
+    global: Arc<RwLock<GlobalTables>>,
+}
+
+impl ShardedStore {
+    /// Creates an in-memory sharded store with manual maintenance.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero.
+    pub fn new(num_shards: usize) -> Self {
+        Self::with_config(num_shards, StoreConfig::default())
+    }
+
+    /// Creates an in-memory sharded store; every shard gets `config`.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero.
+    pub fn with_config(num_shards: usize, config: StoreConfig) -> Self {
+        assert!(num_shards > 0, "a sharded store needs at least one shard");
+        let shards = (0..num_shards).map(|_| SharedClaimStore::with_config(config)).collect();
+        Self { shards: Arc::new(shards), global: Arc::new(RwLock::new(GlobalTables::default())) }
+    }
+
+    /// Opens (creating or recovering) a **durable** sharded store under
+    /// `root` with the default per-shard configuration.
+    pub fn open(root: impl AsRef<Path>, num_shards: usize) -> Result<Self, StoreIoError> {
+        Self::open_with_config(root, num_shards, StoreConfig::default())
+    }
+
+    /// Opens (creating or recovering) a durable sharded store: shard `i`
+    /// lives in `root/shard-00i`, each with its own WAL and manifest. The
+    /// shard count is pinned in a `SHARDS` file — reopening with a
+    /// different count is refused, because the item partitioning (and hence
+    /// which shard holds which claims) depends on it.
+    ///
+    /// On recovery the global name registry is rebuilt shard-major (shard
+    /// 0's names first, in local id order, then shard 1's new ones, …). The
+    /// rebuilt global ids are deterministic but need not equal the original
+    /// arrival order, which a restart cannot reconstruct; detection results
+    /// remain exact — only the floating-point fold order (and therefore the
+    /// last-ulp rounding) can differ from the pre-restart instance.
+    ///
+    /// # Errors
+    /// Any shard's [`StoreIoError`] propagates, as does a shard-count
+    /// mismatch (reported as [`StoreIoError::Corrupt`] on the root).
+    pub fn open_with_config(
+        root: impl AsRef<Path>,
+        num_shards: usize,
+        config: StoreConfig,
+    ) -> Result<Self, StoreIoError> {
+        assert!(num_shards > 0, "a sharded store needs at least one shard");
+        let root = root.as_ref();
+        std::fs::create_dir_all(root).map_err(|e| StoreIoError::io(root, &e))?;
+        Self::pin_shard_count(root, num_shards)?;
+        let mut shards = Vec::with_capacity(num_shards);
+        for i in 0..num_shards {
+            shards.push(SharedClaimStore::open_with_config(
+                root.join(format!("shard-{i:03}")),
+                config,
+            )?);
+        }
+        let store = Self {
+            shards: Arc::new(shards),
+            global: Arc::new(RwLock::new(GlobalTables::default())),
+        };
+        store.rebuild_global_registry();
+        Ok(store)
+    }
+
+    /// Validates the `SHARDS` pin against `num_shards`, creating it if the
+    /// root is fresh.
+    ///
+    /// Creation is both **atomic** (a crash can never leave a torn pin: the
+    /// bytes are written and fsynced to a process-unique temp file first)
+    /// and **exclusive** (publishing via `hard_link`, which fails if the
+    /// pin already exists — two processes racing to create the same fresh
+    /// root cannot overwrite each other's count; the loser re-reads and
+    /// validates like any reopen).
+    fn pin_shard_count(root: &Path, num_shards: usize) -> Result<(), StoreIoError> {
+        let shards_path = root.join(SHARDS_FILE);
+        let validate = |contents: String| -> Result<(), StoreIoError> {
+            let found: usize = contents.trim().parse().map_err(|_| StoreIoError::Corrupt {
+                path: shards_path.clone(),
+                detail: format!("unparsable shard count {contents:?}"),
+            })?;
+            if found != num_shards {
+                return Err(StoreIoError::Corrupt {
+                    path: shards_path.clone(),
+                    detail: format!(
+                        "store was created with {found} shard(s), opened with {num_shards}: the \
+                         item partitioning depends on the count, so it cannot change"
+                    ),
+                });
+            }
+            Ok(())
+        };
+        match std::fs::read_to_string(&shards_path) {
+            Ok(contents) => return validate(contents),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreIoError::io(&shards_path, &e)),
+        }
+        let tmp = root.join(format!("{SHARDS_FILE}.{}.tmp", std::process::id()));
+        let io_err = |e: &std::io::Error| StoreIoError::io(&tmp, e);
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&e))?;
+        std::io::Write::write_all(&mut file, format!("{num_shards}\n").as_bytes())
+            .map_err(|e| io_err(&e))?;
+        file.sync_all().map_err(|e| io_err(&e))?;
+        drop(file);
+        let published = match std::fs::hard_link(&tmp, &shards_path) {
+            Ok(()) => true,
+            // Lost the creation race: somebody else's pin is authoritative.
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => false,
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(StoreIoError::io(&shards_path, &e));
+            }
+        };
+        let _ = std::fs::remove_file(&tmp);
+        if published {
+            if let Ok(dir) = std::fs::File::open(root) {
+                let _ = dir.sync_all();
+            }
+            Ok(())
+        } else {
+            let contents = std::fs::read_to_string(&shards_path)
+                .map_err(|e| StoreIoError::io(&shards_path, &e))?;
+            validate(contents)
+        }
+    }
+
+    /// Re-interns every recovered shard's names into the global registry,
+    /// shard-major. Used at open; a no-op for fresh directories.
+    fn rebuild_global_registry(&self) {
+        let mut global = self.global.write().expect("global registry lock poisoned");
+        for shard in self.shards.iter() {
+            let snapshot = shard.snapshot();
+            let ds = &snapshot.dataset;
+            for s in ds.sources() {
+                global.sources.intern(ds.source_name(s));
+            }
+            for d in ds.items() {
+                global.items.intern(ds.item_name(d));
+            }
+            for (_, v) in ds.values_interner().iter() {
+                global.values.intern(v);
+            }
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard handles, in shard order.
+    pub fn shards(&self) -> &[SharedClaimStore] {
+        &self.shards
+    }
+
+    /// The shard an item name is routed to.
+    pub fn shard_of_item(&self, item: &str) -> usize {
+        partition_of(item, self.shards.len())
+    }
+
+    /// Distinct source names seen across all shards.
+    pub fn num_sources(&self) -> usize {
+        self.global.read().expect("global registry lock poisoned").sources.len()
+    }
+
+    /// Source names in global id order (index `i` names global source `i`).
+    /// A clone taken under the registry's shared read lock — the resolution
+    /// path for detection results, whose pair ids live in the global space.
+    pub fn global_source_names(&self) -> Vec<String> {
+        self.global.read().expect("global registry lock poisoned").sources.names().to_vec()
+    }
+
+    /// Distinct item names seen across all shards.
+    pub fn num_items(&self) -> usize {
+        self.global.read().expect("global registry lock poisoned").items.len()
+    }
+
+    /// Ingests one claim, routing it by item partition.
+    pub fn ingest(&self, source: &str, item: &str, value: &str) {
+        self.ingest_batch([(source, item, value)]);
+    }
+
+    /// Ingests a batch of claims: names are interned into the global
+    /// registry in arrival order (one registry lock for the whole batch),
+    /// the batch is split by item partition, and each shard's slice is
+    /// applied under **one** shard-lock acquisition — the amortization that
+    /// lets many concurrent client batches stream without convoying on a
+    /// single store mutex. Returns the number of claims ingested.
+    pub fn ingest_batch<'a>(
+        &self,
+        claims: impl IntoIterator<Item = (&'a str, &'a str, &'a str)>,
+    ) -> usize {
+        let claims: Vec<(&str, &str, &str)> = claims.into_iter().collect();
+        if claims.is_empty() {
+            return 0;
+        }
+        // Registry fast path: a batch whose names are all known (the steady
+        // state — vocabularies grow sublinearly in traffic) verifies that
+        // under the shared read lock and skips the exclusive one entirely.
+        let all_known = {
+            let global = self.global.read().expect("global registry lock poisoned");
+            claims.iter().all(|&(s, d, v)| {
+                global.sources.get(s).is_some()
+                    && global.items.get(d).is_some()
+                    && global.values.get(v).is_some()
+            })
+        };
+        if !all_known {
+            let mut global = self.global.write().expect("global registry lock poisoned");
+            for &(s, d, v) in &claims {
+                global.sources.intern(s);
+                global.items.intern(d);
+                global.values.intern(v);
+            }
+        }
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (idx, &(_, d, _)) in claims.iter().enumerate() {
+            by_shard[partition_of(d, self.shards.len())].push(idx);
+        }
+        for (shard, indices) in self.shards.iter().zip(by_shard) {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut guard = shard.lock();
+            for idx in indices {
+                let (s, d, v) = claims[idx];
+                guard.ingest(s, d, v);
+            }
+        }
+        claims.len()
+    }
+
+    /// Captures every shard's current state for a detection round: the
+    /// snapshot and the incrementally-maintained shared-item counts, taken
+    /// together under each shard's lock so they are mutually consistent.
+    ///
+    /// Shards are captured one after another, so the fleet-wide view is a
+    /// union of per-shard-consistent snapshots (not a global atomic cut);
+    /// because shards are item-disjoint, that union is itself a dataset
+    /// some valid interleaving of the ingest stream produces.
+    pub fn capture_shards(&self) -> Vec<(StoreSnapshot, Arc<SharedItemCounts>)> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let mut guard = shard.lock();
+                let snapshot = guard.snapshot();
+                let counts = Arc::clone(guard.shared_item_counts_handle());
+                (snapshot, counts)
+            })
+            .collect()
+    }
+
+    /// Builds the local→global id maps for a shard snapshot. Names not yet
+    /// in the registry (impossible through the router, possible for a store
+    /// assembled by hand) are interned on the fly.
+    ///
+    /// Names that reached a shard went through the registry first, so the
+    /// steady state resolves everything under the shared **read** lock —
+    /// detection rounds do not stall concurrent ingest batches; the
+    /// exclusive lock is taken only if some name is genuinely missing.
+    pub fn maps_for(&self, snapshot: &StoreSnapshot) -> ShardMaps {
+        let ds = &snapshot.dataset;
+        {
+            let global = self.global.read().expect("global registry lock poisoned");
+            let sources: Option<Vec<SourceId>> = ds
+                .sources()
+                .map(|s| global.sources.get(ds.source_name(s)).map(SourceId::from_index))
+                .collect();
+            let items: Option<Vec<ItemId>> = ds
+                .items()
+                .map(|d| global.items.get(ds.item_name(d)).map(ItemId::from_index))
+                .collect();
+            let values: Option<Vec<usize>> =
+                ds.values_interner().iter().map(|(_, v)| global.values.get(v)).collect();
+            if let (Some(sources), Some(items), Some(values)) = (sources, items, values) {
+                return ShardMaps { ids: copydet_detect::ShardIdMap { sources, items }, values };
+            }
+        }
+        let mut global = self.global.write().expect("global registry lock poisoned");
+        ShardMaps {
+            ids: copydet_detect::ShardIdMap {
+                sources: ds
+                    .sources()
+                    .map(|s| SourceId::from_index(global.sources.intern(ds.source_name(s))))
+                    .collect(),
+                items: ds
+                    .items()
+                    .map(|d| ItemId::from_index(global.items.intern(ds.item_name(d))))
+                    .collect(),
+            },
+            values: ds.values_interner().iter().map(|(_, v)| global.values.intern(v)).collect(),
+        }
+    }
+
+    /// Merges every shard's incrementally-maintained shared-item counts into
+    /// one table over the **global** source id space. Shards are
+    /// item-disjoint, so the per-pair sums equal a from-scratch
+    /// [`SharedItemCounts::build`] over the union dataset — property-tested
+    /// in `tests/shard_equivalence.rs`.
+    pub fn merged_shared_item_counts(&self) -> SharedItemCounts {
+        let captures = self.capture_shards();
+        let maps: Vec<ShardMaps> = captures.iter().map(|(snap, _)| self.maps_for(snap)).collect();
+        let empty = copydet_model::DatasetBuilder::new().build();
+        let mut merged = SharedItemCounts::build(&empty);
+        merged.grow(self.num_sources());
+        for ((_, counts), map) in captures.iter().zip(&maps) {
+            for (pair, n) in counts.iter_nonzero() {
+                let global = SourcePair::new(
+                    map.ids.sources[pair.first().index()],
+                    map.ids.sources[pair.second().index()],
+                );
+                merged.increment(global, n);
+            }
+        }
+        merged
+    }
+
+    /// One background-maintenance step across the fleet: every shard gets a
+    /// [`SharedClaimStore::maintenance_tick`]. Returns `true` if any shard
+    /// acted.
+    pub fn maintenance_tick(&self, seal_at: usize, max_segments: usize) -> bool {
+        let mut acted = false;
+        for shard in self.shards.iter() {
+            acted |= shard.maintenance_tick(seal_at, max_segments);
+        }
+        acted
+    }
+
+    /// Flushes and fsyncs every shard's write-ahead log; the first failure
+    /// wins.
+    pub fn sync(&self) -> Result<(), StoreIoError> {
+        for shard in self.shards.iter() {
+            shard.sync()?;
+        }
+        Ok(())
+    }
+
+    /// The first persistence failure of any shard, if any.
+    pub fn io_error(&self) -> Option<StoreIoError> {
+        self.shards.iter().find_map(SharedClaimStore::io_error)
+    }
+
+    /// Per-shard summary statistics, in shard order.
+    pub fn shard_stats(&self) -> Vec<StoreStats> {
+        self.shards.iter().map(SharedClaimStore::stats).collect()
+    }
+
+    /// Fleet-wide statistics (see [`StoreStats::merged`]; `num_sources`
+    /// there counts per-shard vocabularies — use
+    /// [`num_sources`](Self::num_sources) for the global distinct count).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats::merged(self.shard_stats())
+    }
+
+    /// Total distinct live `(source, item)` claims across the fleet.
+    pub fn num_claims(&self) -> usize {
+        self.shards.iter().map(SharedClaimStore::num_claims).sum()
+    }
+}
+
+/// Splits an incoming claim stream into per-shard batches — the batching
+/// convenience for **in-process** producers that emit one claim at a time.
+///
+/// Callers push claims in arrival order; [`flush`](Router::flush) interns
+/// the whole buffer into the global registry under one lock, splits it by
+/// item partition, and applies each shard's slice under a single shard-lock
+/// acquisition. Pushes auto-flush once `flush_at` claims are buffered. (The
+/// TCP frontend gets the same amortization without a router: each wire
+/// INGEST request is already a batch and goes straight through
+/// [`ShardedStore::ingest_batch`].)
+#[derive(Debug)]
+pub struct Router {
+    store: ShardedStore,
+    buffer: Vec<(String, String, String)>,
+    flush_at: usize,
+}
+
+impl Router {
+    /// A router over `store` that auto-flushes every `flush_at` claims.
+    ///
+    /// # Panics
+    /// Panics if `flush_at` is zero.
+    pub fn new(store: ShardedStore, flush_at: usize) -> Self {
+        assert!(flush_at > 0, "a router must buffer at least one claim");
+        Self { store, buffer: Vec::with_capacity(flush_at), flush_at }
+    }
+
+    /// Buffers one claim, auto-flushing at the batch size. Returns the
+    /// number of claims flushed (0 while buffering).
+    pub fn push(&mut self, source: &str, item: &str, value: &str) -> usize {
+        self.buffer.push((source.to_owned(), item.to_owned(), value.to_owned()));
+        if self.buffer.len() >= self.flush_at {
+            self.flush()
+        } else {
+            0
+        }
+    }
+
+    /// Ingests everything buffered (order-preserving) and returns how many
+    /// claims were flushed.
+    pub fn flush(&mut self) -> usize {
+        if self.buffer.is_empty() {
+            return 0;
+        }
+        let batch = std::mem::take(&mut self.buffer);
+        self.store.ingest_batch(batch.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())))
+    }
+
+    /// Claims currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+impl Drop for Router {
+    /// Routers never silently drop buffered claims.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_is_stable_and_total() {
+        // Pinned values: the hash is part of the durable layout.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        for n in 1..6 {
+            for item in ["NJ", "AZ", "首都", ""] {
+                assert!(partition_of(item, n) < n);
+            }
+        }
+        assert_eq!(partition_of("anything", 1), 0);
+    }
+
+    #[test]
+    fn batches_split_by_item_and_count_claims() {
+        let store = ShardedStore::new(3);
+        let n = store.ingest_batch([
+            ("S0", "D0", "x"),
+            ("S0", "D1", "y"),
+            ("S1", "D0", "x"),
+            ("S1", "D2", "z"),
+        ]);
+        assert_eq!(n, 4);
+        assert_eq!(store.num_claims(), 4);
+        assert_eq!(store.num_sources(), 2);
+        assert_eq!(store.num_items(), 3);
+        // All claims of one item live on one shard.
+        let shard = store.shard_of_item("D0");
+        let snap = store.shards()[shard].snapshot();
+        assert_eq!(
+            snap.dataset.item_by_name("D0").map(|d| snap.dataset.item_provider_count(d)),
+            Some(2)
+        );
+        // And the fleet totals add up.
+        assert_eq!(store.stats().live_claims, 4);
+    }
+
+    #[test]
+    fn router_buffers_flushes_and_never_drops() {
+        let store = ShardedStore::new(2);
+        let mut router = Router::new(store.clone(), 3);
+        assert_eq!(router.push("S0", "D0", "x"), 0);
+        assert_eq!(router.push("S1", "D1", "y"), 0);
+        assert_eq!(router.pending(), 2);
+        assert_eq!(router.push("S2", "D2", "z"), 3, "auto-flush at the batch size");
+        assert_eq!(router.pending(), 0);
+        router.push("S3", "D3", "w");
+        drop(router); // drop flushes the remainder
+        assert_eq!(store.num_claims(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = ShardedStore::new(0);
+    }
+
+    #[test]
+    fn merged_counts_match_a_cold_build_over_the_union() {
+        let store = ShardedStore::new(3);
+        let claims = [
+            ("S0", "D0", "x"),
+            ("S1", "D0", "x"),
+            ("S0", "D1", "y"),
+            ("S1", "D1", "z"),
+            ("S2", "D2", "q"),
+            ("S0", "D2", "q"),
+        ];
+        store.ingest_batch(claims);
+        let mut b = copydet_model::DatasetBuilder::new();
+        for (s, d, v) in claims {
+            b.add_claim(s, d, v);
+        }
+        let cold = SharedItemCounts::build(&b.build());
+        let merged = store.merged_shared_item_counts();
+        assert_eq!(merged.num_sharing_pairs(), cold.num_sharing_pairs());
+        for (pair, n) in cold.iter_nonzero() {
+            assert_eq!(merged.get(pair), n, "pair {pair}");
+        }
+    }
+}

@@ -5,8 +5,9 @@
 //!
 //! ```text
 //! store-dir/
-//!   MANIFEST            commit record: table file + segment files, in order
-//!   tables-000002.tbl   id-ordered source/item/value name tables
+//!   MANIFEST            commit record: table-file chain + segment files
+//!   tables-000002.tbl   name-table chain, oldest first: each file holds the
+//!   tables-000004.tbl   names appended since its predecessor (id order)
 //!   seg-000000.seg      sealed segments, oldest first
 //!   seg-000001.seg
 //!   wal.log             growing segment, one checksummed frame per ingest
@@ -16,7 +17,10 @@
 //!
 //! 1. write every not-yet-persisted sealed segment to a fresh `seg-*.seg`
 //!    (write `*.tmp`, fsync, rename, fsync dir),
-//! 2. write a fresh `tables-*.tbl` if the name tables grew,
+//! 2. if the name tables grew, append a **delta** `tables-*.tbl` holding
+//!    only the new names to the chain — a seal therefore writes O(new
+//!    names), never O(vocabulary); a *compacting* commit instead collapses
+//!    the whole chain into one full tables file,
 //! 3. write the new `MANIFEST` the same atomic way — **the rename of the
 //!    manifest is the commit point**,
 //! 4. garbage-collect files the new manifest no longer references,
@@ -51,9 +55,11 @@ pub(crate) struct Persistence {
     /// WAL. Released automatically when the handle (or the process) dies,
     /// so a crash never wedges recovery.
     _lock: std::fs::File,
-    /// The committed tables file, if any commit has happened.
-    tables_file: Option<String>,
-    /// Table lengths `(sources, items, values)` covered by `tables_file`.
+    /// The committed name-table chain, oldest first (empty until the first
+    /// commit). Concatenating the chain's files yields the tables in id
+    /// order; the last link holds the most recently appended names.
+    tables_chain: Vec<String>,
+    /// Table lengths `(sources, items, values)` covered by the whole chain.
     persisted_table_lens: (usize, usize, usize),
     /// Committed segments and their file names, aligned with the store's
     /// sealed-segment order. Matched by `Arc` identity (segments are
@@ -135,14 +141,18 @@ impl Persistence {
             Manifest::default()
         };
 
-        // 2. Name tables.
-        let (sources, items, values) = match &manifest.tables {
-            Some(name) => {
-                let path = io.path_of(name);
-                format::decode_tables(&read_file(&path)?).map_err(|e| e.at(&path))?
-            }
-            None => Default::default(),
-        };
+        // 2. Name tables: the chain's files concatenate, oldest first, into
+        //    the id-ordered tables (each link holds the names appended since
+        //    its predecessor).
+        let (mut sources, mut items, mut values) =
+            (Vec::<String>::new(), Vec::<String>::new(), Vec::<String>::new());
+        for name in &manifest.tables {
+            let path = io.path_of(name);
+            let (s, i, v) = format::decode_tables(&read_file(&path)?).map_err(|e| e.at(&path))?;
+            sources.extend(s);
+            items.extend(i);
+            values.extend(v);
+        }
 
         // 3. Sealed segments, re-validated against the tables.
         let mut segments = Vec::with_capacity(manifest.segments.len());
@@ -196,12 +206,8 @@ impl Persistence {
         //    interference — deleting it in the second case would turn a
         //    repairable directory into permanent loss, so absent a
         //    manifest the sweep touches nothing but `.tmp` files.
-        let referenced: Vec<&str> = manifest
-            .segments
-            .iter()
-            .map(String::as_str)
-            .chain(manifest.tables.as_deref())
-            .collect();
+        let referenced: Vec<&str> =
+            manifest.segments.iter().chain(manifest.tables.iter()).map(String::as_str).collect();
         if let Ok(entries) = std::fs::read_dir(io.dir()) {
             for entry in entries.flatten() {
                 let name = entry.file_name();
@@ -220,7 +226,7 @@ impl Persistence {
             io,
             wal,
             _lock: lock,
-            tables_file: manifest.tables.clone(),
+            tables_chain: manifest.tables.clone(),
             persisted_table_lens: (sources.len(), items.len(), values.len()),
             persisted: segments.iter().cloned().zip(manifest.segments.iter().cloned()).collect(),
             next_seq: manifest.next_seq,
@@ -287,10 +293,11 @@ impl Persistence {
         }
     }
 
-    /// Commits the current sealed state: writes new segment files, refreshes
-    /// the tables file if the tables grew, atomically publishes the new
-    /// manifest, garbage-collects superseded files, and — after a seal,
-    /// when the WAL's claims are now covered by a committed segment —
+    /// Commits the current sealed state: writes new segment files, appends a
+    /// delta tables file if the tables grew (or, with `compact_tables`,
+    /// collapses the whole chain into one full file), atomically publishes
+    /// the new manifest, garbage-collects superseded files, and — after a
+    /// seal, when the WAL's claims are now covered by a committed segment —
     /// resets the WAL.
     pub fn commit(
         &mut self,
@@ -299,11 +306,12 @@ impl Persistence {
         items: &[String],
         values: &[String],
         reset_wal: bool,
+        compact_tables: bool,
     ) {
         if self.broken.is_some() {
             return;
         }
-        let result = self.commit_inner(sealed, sources, items, values, reset_wal);
+        let result = self.commit_inner(sealed, sources, items, values, reset_wal, compact_tables);
         self.guard(result);
     }
 
@@ -314,6 +322,7 @@ impl Persistence {
         items: &[String],
         values: &[String],
         reset_wal: bool,
+        compact_tables: bool,
     ) -> Result<(), StoreIoError> {
         // 1. Segment files for every not-yet-persisted segment.
         let mut new_persisted: Vec<(SealedSegment, String)> = Vec::with_capacity(sealed.len());
@@ -330,24 +339,34 @@ impl Persistence {
             new_persisted.push((segment.clone(), name));
         }
 
-        // 2. Tables file, refreshed when the tables grew past the committed
-        //    lengths (tables are append-only, so lengths say it all).
+        // 2. The tables chain. Tables are append-only, so the committed
+        //    lengths say exactly which names are new. A growing commit
+        //    appends one delta file holding only those — the seal path is
+        //    O(new names) in table I/O. A compacting commit (segment
+        //    compaction, which is O(corpus) anyway) collapses the chain
+        //    back into a single full file so recovery and GC stay bounded.
         let lens = (sources.len(), items.len(), values.len());
         let manifest_path = self.io.path_of(MANIFEST_FILE);
-        if self.tables_file.is_none() || lens != self.persisted_table_lens {
+        let rewrite_full = compact_tables && (self.tables_chain.len() > 1);
+        if rewrite_full || lens != self.persisted_table_lens {
             let name = format!("tables-{:06}.tbl", self.next_seq);
             self.next_seq += 1;
-            let bytes = format::encode_tables(sources, items, values)
+            let (s0, i0, v0) = if rewrite_full { (0, 0, 0) } else { self.persisted_table_lens };
+            let bytes = format::encode_tables(&sources[s0..], &items[i0..], &values[v0..])
                 .map_err(|e| e.at(self.io.path_of(&name)))?;
             self.io.atomic_write(&name, "tables", &bytes)?;
-            self.tables_file = Some(name);
+            if rewrite_full {
+                self.tables_chain = vec![name];
+            } else {
+                self.tables_chain.push(name);
+            }
             self.persisted_table_lens = lens;
         }
 
         // 3. The manifest rename is the commit point.
         let manifest = Manifest {
             next_seq: self.next_seq,
-            tables: self.tables_file.clone(),
+            tables: self.tables_chain.clone(),
             segments: new_persisted.iter().map(|(_, name)| name.clone()).collect(),
         };
         let bytes = format::encode_manifest(&manifest).map_err(|e| e.at(&manifest_path))?;
@@ -367,7 +386,7 @@ impl Persistence {
             for entry in entries.flatten() {
                 let name = entry.file_name();
                 let Some(name) = name.to_str() else { continue };
-                if name.ends_with(".tbl") && Some(name) != self.tables_file.as_deref() {
+                if name.ends_with(".tbl") && !self.tables_chain.iter().any(|kept| kept == name) {
                     let _ = self.io.remove(name, "gc:tables");
                 }
             }
@@ -380,5 +399,25 @@ impl Persistence {
             self.wal.reset(&mut self.io)?;
         }
         Ok(())
+    }
+}
+
+impl Drop for Persistence {
+    /// Flushes any write-ahead-log frames still awaiting an fsync.
+    ///
+    /// `ingest` acknowledges a claim after *appending* its frame; the fsync
+    /// is deferred to `sync()` / seal boundaries / background maintenance.
+    /// Without this hook, dropping the last handle to a store — including a
+    /// `SharedClaimStore` whose maintenance thread was mid-tick — could end
+    /// the process with appended-but-unsynced frames, silently narrowing
+    /// the durable prefix below what maintenance had reported flushed. A
+    /// best-effort final fsync closes that window; failures are swallowed
+    /// (the store is gone — there is nobody left to report to), and under
+    /// crash injection the gated fsync is skipped exactly like every other
+    /// dead-mode event, so the simulated-crash model is unchanged.
+    fn drop(&mut self) {
+        if self.broken.is_none() && self.wal.needs_sync() {
+            let _ = self.wal.sync(&mut self.io);
+        }
     }
 }

@@ -35,7 +35,13 @@ use copydet_model::codec::{self, CodecError, Reader};
 use copydet_model::{Claim, ItemId, SourceId, ValueId};
 
 /// Version written into (and required of) every file header.
-pub(crate) const FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — initial durable format (PR 4): single full name-table file.
+/// * 2 — the manifest lists a **chain** of name-table files (each holding
+///   the names appended since its predecessor), so a durable seal writes
+///   O(new names) instead of rewriting the full vocabulary.
+pub(crate) const FORMAT_VERSION: u32 = 2;
 
 /// Magic of sealed-segment files.
 pub(crate) const MAGIC_SEGMENT: [u8; 4] = *b"CDSG";
@@ -88,41 +94,16 @@ impl From<CodecError> for FormatError {
     fn from(e: CodecError) -> Self {
         match e {
             CodecError::Truncated { .. } => FormatError::Truncated(e.to_string()),
-            CodecError::Utf8 { .. } | CodecError::StringTooLong { .. } => {
-                FormatError::Corrupt(e.to_string())
-            }
+            CodecError::Utf8 { .. }
+            | CodecError::StringTooLong { .. }
+            | CodecError::ChecksumMismatch { .. } => FormatError::Corrupt(e.to_string()),
         }
     }
 }
 
-// ---------------------------------------------------------------------------
-// CRC32 (IEEE 802.3, reflected 0xEDB88320) — the classic table-driven
-// implementation, table built at compile time so no dependency is needed.
-// ---------------------------------------------------------------------------
-
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-/// CRC32 (IEEE) of `bytes`.
+/// CRC32 (IEEE) of `bytes` — shared with the wire-protocol frames.
 pub(crate) fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
+    codec::crc32_ieee(bytes)
 }
 
 // ---------------------------------------------------------------------------
@@ -315,9 +296,12 @@ pub(crate) fn decode_segment(bytes: &[u8]) -> Result<SealedSegment, FormatError>
 pub(crate) struct Manifest {
     /// Next file sequence number to allocate.
     pub next_seq: u64,
-    /// Name-table file covering every id the segments reference, if any
-    /// commit has happened yet.
-    pub tables: Option<String>,
+    /// The name-table **chain**, oldest first: each file holds the names
+    /// appended since its predecessor, so the concatenation (in chain
+    /// order) yields every table in id order. A durable seal appends one
+    /// delta file with only the names that seal introduced — O(new names) —
+    /// and compaction collapses the chain back into a single file.
+    pub tables: Vec<String>,
     /// Sealed-segment file names, oldest first.
     pub segments: Vec<String>,
 }
@@ -326,12 +310,9 @@ pub(crate) struct Manifest {
 pub(crate) fn encode_manifest(manifest: &Manifest) -> Result<Vec<u8>, FormatError> {
     let mut payload = Vec::new();
     codec::put_u64(&mut payload, manifest.next_seq);
-    match &manifest.tables {
-        Some(name) => {
-            codec::put_u8(&mut payload, 1);
-            codec::put_str(&mut payload, name).map_err(FormatError::from)?;
-        }
-        None => codec::put_u8(&mut payload, 0),
+    codec::put_u32(&mut payload, manifest.tables.len() as u32);
+    for name in &manifest.tables {
+        codec::put_str(&mut payload, name).map_err(FormatError::from)?;
     }
     codec::put_u32(&mut payload, manifest.segments.len() as u32);
     for name in &manifest.segments {
@@ -345,11 +326,11 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<Manifest, FormatError> {
     let payload = decode_file(MAGIC_MANIFEST, bytes)?;
     let mut r = Reader::new(payload);
     let next_seq = r.u64()?;
-    let tables = match r.u8()? {
-        0 => None,
-        1 => Some(validate_file_name(r.string()?)?),
-        other => return Err(FormatError::Corrupt(format!("bad tables marker {other}"))),
-    };
+    let tables_count = r.u32()? as usize;
+    let mut tables = Vec::with_capacity(tables_count.min(1 << 16));
+    for _ in 0..tables_count {
+        tables.push(validate_file_name(r.string()?)?);
+    }
     let count = r.u32()? as usize;
     let mut segments = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
@@ -692,7 +673,7 @@ mod tests {
     fn manifest_roundtrip_and_validation() {
         let m = Manifest {
             next_seq: 7,
-            tables: Some("tables-000003.tbl".into()),
+            tables: vec!["tables-000003.tbl".into(), "tables-000005.tbl".into()],
             segments: vec!["seg-000001.seg".into(), "seg-000002.seg".into()],
         };
         let bytes = encode_manifest(&m).unwrap();
@@ -702,8 +683,11 @@ mod tests {
         let bytes = encode_manifest(&empty).unwrap();
         assert_eq!(decode_manifest(&bytes).unwrap(), empty);
 
-        // Path-traversal names are rejected.
-        let evil = Manifest { next_seq: 0, tables: None, segments: vec!["../../etc".into()] };
+        // Path-traversal names are rejected — in the tables chain too.
+        let evil = Manifest { next_seq: 0, tables: vec![], segments: vec!["../../etc".into()] };
+        let bytes = encode_manifest(&evil).unwrap();
+        assert!(matches!(decode_manifest(&bytes), Err(FormatError::Corrupt(_))));
+        let evil = Manifest { next_seq: 0, tables: vec!["a/b.tbl".into()], segments: vec![] };
         let bytes = encode_manifest(&evil).unwrap();
         assert!(matches!(decode_manifest(&bytes), Err(FormatError::Corrupt(_))));
     }

@@ -38,6 +38,37 @@ pub struct StoreStats {
     pub wal_bytes: u64,
 }
 
+impl StoreStats {
+    /// Folds per-shard statistics into one fleet-wide summary: counts sum,
+    /// `epoch` takes the maximum (shards snapshot independently), and
+    /// `durable` holds iff every shard persists. Name counts are sums of
+    /// per-shard vocabularies — a source claiming items in several shards is
+    /// counted once per shard, so `num_sources` is an upper bound on the
+    /// global distinct-source count (items are hash-partitioned, hence
+    /// counted exactly once).
+    pub fn merged(shards: impl IntoIterator<Item = StoreStats>) -> StoreStats {
+        let mut shards = shards.into_iter();
+        let Some(mut total) = shards.next() else { return StoreStats::default() };
+        for s in shards {
+            total.epoch = total.epoch.max(s.epoch);
+            total.num_sources += s.num_sources;
+            total.num_items += s.num_items;
+            total.num_values += s.num_values;
+            total.live_claims += s.live_claims;
+            total.total_ingested += s.total_ingested;
+            total.overwrites += s.overwrites;
+            total.sealed_segments += s.sealed_segments;
+            total.sealed_claims += s.sealed_claims;
+            total.growing_claims += s.growing_claims;
+            total.pending_delta_claims += s.pending_delta_claims;
+            total.durable &= s.durable;
+            total.wal_frames += s.wal_frames;
+            total.wal_bytes += s.wal_bytes;
+        }
+        total
+    }
+}
+
 impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -65,6 +96,32 @@ impl std::fmt::Display for StoreStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merged_sums_counts_and_maxes_epochs() {
+        let a = StoreStats {
+            epoch: 3,
+            live_claims: 10,
+            num_sources: 2,
+            durable: true,
+            wal_frames: 4,
+            ..Default::default()
+        };
+        let b = StoreStats {
+            epoch: 1,
+            live_claims: 5,
+            num_sources: 3,
+            durable: false,
+            ..Default::default()
+        };
+        let m = StoreStats::merged([a, b]);
+        assert_eq!(m.epoch, 3);
+        assert_eq!(m.live_claims, 15);
+        assert_eq!(m.num_sources, 5);
+        assert!(!m.durable, "one in-memory shard makes the fleet non-durable");
+        assert_eq!(m.wal_frames, 4);
+        assert_eq!(StoreStats::merged([]), StoreStats::default());
+    }
 
     #[test]
     fn display_is_informative() {

@@ -570,36 +570,42 @@ impl ClaimStore {
     /// [`StoreConfig::max_sealed_segments`].
     ///
     /// On a durable store sealing is a **commit**: the new segment (and, if
-    /// the name tables grew, a fresh tables file) is written out
-    /// write-new-then-atomic-rename with fsyncs, the manifest rename
-    /// publishes it, and the write-ahead log — whose claims the segment now
-    /// covers — is reset. A crash at any point leaves either the old
-    /// committed state plus the intact log, or the new one.
+    /// the name tables grew, a *delta* tables file holding only the names
+    /// this window interned — seal cost is O(new names), never
+    /// O(vocabulary)) is written out write-new-then-atomic-rename with
+    /// fsyncs, the manifest rename publishes it, and the write-ahead log —
+    /// whose claims the segment now covers — is reset. A crash at any point
+    /// leaves either the old committed state plus the intact log, or the
+    /// new one.
     pub fn seal(&mut self) {
         if self.growing.is_empty() {
             return;
         }
         let growing = std::mem::take(&mut self.growing);
         self.sealed.push(growing.freeze());
+        let mut auto_compacted = false;
         if let Some(limit) = self.config.max_sealed_segments {
             if self.sealed.len() > limit {
                 self.compact_segments();
+                auto_compacted = true;
             }
         }
-        self.persist_commit(true);
+        self.persist_commit(true, auto_compacted);
     }
 
     /// Coalesces all sealed segments into one (newest-wins), bounding the
     /// number of segments a lookup or snapshot has to visit. On a durable
-    /// store the merged segment is committed like a seal — but the
-    /// write-ahead log is untouched, since compaction never sees the
-    /// growing segment.
+    /// store the merged segment is committed like a seal — compaction also
+    /// collapses the delta tables *chain* into one full file, amortizing
+    /// the O(vocabulary) rewrite onto the already-O(corpus) compaction —
+    /// but the write-ahead log is untouched, since compaction never sees
+    /// the growing segment.
     pub fn compact(&mut self) {
         if self.sealed.len() < 2 {
             return;
         }
         self.compact_segments();
-        self.persist_commit(false);
+        self.persist_commit(false, true);
     }
 
     /// The in-memory merge of all sealed segments into one (newest-wins).
@@ -614,8 +620,10 @@ impl ClaimStore {
         self.sealed = vec![merged];
     }
 
-    /// Commits the current sealed state to disk (durable stores only).
-    fn persist_commit(&mut self, reset_wal: bool) {
+    /// Commits the current sealed state to disk (durable stores only). A
+    /// plain seal appends a delta tables file (O(new names) in table I/O);
+    /// a commit that compacted segments also collapses the tables chain.
+    fn persist_commit(&mut self, reset_wal: bool, compact_tables: bool) {
         let Some(persist) = &mut self.persist else { return };
         let values = self.values.shared_strings();
         persist.commit(
@@ -624,6 +632,7 @@ impl ClaimStore {
             self.items.names(),
             values.as_slice(),
             reset_wal,
+            compact_tables,
         );
     }
 

@@ -10,9 +10,12 @@ mod common;
 use common::Scratch;
 use copydet_index::SharedItemCounts;
 use copydet_model::{Dataset, DatasetBuilder};
-use copydet_store::{ClaimStore, SharedClaimStore, StoreConfig, StoreIoError};
+use copydet_store::{
+    ClaimStore, SharedClaimStore, StoreConfig, StoreIoError, SyncPoint, WritePermit,
+};
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 const CLAIMS: &[(&str, &str, &str)] = &[
     ("S0", "NJ", "Trenton"),
@@ -234,7 +237,7 @@ fn foreign_version_is_a_version_mismatch() {
     match ClaimStore::open(scratch.path()) {
         Err(StoreIoError::VersionMismatch { found, expected, .. }) => {
             assert_eq!(found, 7);
-            assert_eq!(expected, 1);
+            assert_eq!(expected, 2, "format version 2: delta-table chains");
         }
         other => panic!("expected VersionMismatch, got {other:?}"),
     }
@@ -378,6 +381,162 @@ fn auto_seal_config_is_durable_and_transparent() {
     // segment past the threshold is allowed and committed).
     let mut recovered = ClaimStore::open_with_config(scratch.path(), config).unwrap();
     assert_eq!(recovered.snapshot().dataset, builder_dataset(CLAIMS));
+}
+
+/// Counts files with the given extension in a store directory.
+fn count_ext(dir: &Path, ext: &str) -> usize {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some(ext))
+        .count()
+}
+
+#[test]
+fn seals_append_delta_tables_and_compaction_collapses_the_chain() {
+    let scratch = Scratch::new("deltachain");
+    let mut store = ClaimStore::open(scratch.path()).unwrap();
+    // Three seals, each interning new names: the chain grows one delta file
+    // per seal instead of rewriting the vocabulary (byte sizes prove it:
+    // each link carries only its window's names).
+    let mut sizes = Vec::new();
+    for batch in 0..3 {
+        for i in 0..4 {
+            store.ingest(&format!("S{batch}-{i}"), &format!("D{batch}-{i}"), "x");
+        }
+        store.seal();
+        assert_eq!(count_ext(scratch.path(), "tbl"), batch + 1, "one delta link per seal");
+        let total: u64 = std::fs::read_dir(scratch.path())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("tbl"))
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        sizes.push(total);
+    }
+    // Each seal added roughly the same number of bytes — the chain grows
+    // linearly in new names, not quadratically as full rewrites would.
+    let first = sizes[0];
+    let growth1 = sizes[1] - sizes[0];
+    let growth2 = sizes[2] - sizes[1];
+    assert!(
+        growth1 <= first + 16 && growth2 <= first + 16,
+        "delta links stay O(new names): {sizes:?}"
+    );
+
+    // A seal that interns nothing new appends no link.
+    store.ingest("S0-0", "D0-0", "x");
+    store.seal();
+    assert_eq!(count_ext(scratch.path(), "tbl"), 3, "no new names, no new link");
+
+    // Recovery concatenates the chain.
+    drop(store);
+    let mut recovered = ClaimStore::open(scratch.path()).unwrap();
+    let mut b = DatasetBuilder::new();
+    for batch in 0..3 {
+        for i in 0..4 {
+            b.add_claim(&format!("S{batch}-{i}"), &format!("D{batch}-{i}"), "x");
+        }
+    }
+    assert_eq!(recovered.snapshot().dataset, b.build());
+
+    // Compaction collapses the chain into a single full tables file and the
+    // dataset still recovers identically.
+    recovered.compact();
+    assert_eq!(count_ext(scratch.path(), "tbl"), 1, "compaction collapses the chain");
+    drop(recovered);
+    let mut again = ClaimStore::open(scratch.path()).unwrap();
+    let mut b = DatasetBuilder::new();
+    for batch in 0..3 {
+        for i in 0..4 {
+            b.add_claim(&format!("S{batch}-{i}"), &format!("D{batch}-{i}"), "x");
+        }
+    }
+    assert_eq!(again.snapshot().dataset, b.build());
+}
+
+/// Hook that records every physical I/O event and lets it through.
+#[derive(Default)]
+struct Recording {
+    events: Mutex<Vec<(String, usize)>>,
+}
+
+impl SyncPoint for Recording {
+    fn permit(&self, tag: &str, len: usize) -> WritePermit {
+        self.events.lock().unwrap().push((tag.to_owned(), len));
+        WritePermit::Full
+    }
+}
+
+#[test]
+fn dropping_a_store_flushes_unsynced_wal_frames() {
+    let scratch = Scratch::new("dropsync");
+    let hook = Arc::new(Recording::default());
+    {
+        let mut store = ClaimStore::open_with_sync_point(
+            scratch.path(),
+            StoreConfig::default(),
+            Arc::clone(&hook) as Arc<dyn SyncPoint>,
+        )
+        .unwrap();
+        for (s, d, v) in &CLAIMS[..3] {
+            store.ingest(s, d, v);
+        }
+        assert!(store.stats().wal_frames == 3);
+        // No explicit sync: the frames are appended but not yet fsynced.
+    } // drop must fsync them before the handle disappears
+    let events = hook.events.lock().unwrap();
+    let last = events.last().expect("events were recorded");
+    assert_eq!(last.0, "wal:fsync", "drop ends with the final WAL flush, got {events:?}");
+    drop(events);
+
+    let mut recovered = ClaimStore::open(scratch.path()).unwrap();
+    assert_eq!(recovered.snapshot().dataset, builder_dataset(&CLAIMS[..3]));
+}
+
+#[test]
+fn dropping_a_shared_store_mid_maintenance_loses_no_acknowledged_frame() {
+    let scratch = Scratch::new("droptick");
+    let hook = Arc::new(Recording::default());
+    let store = ClaimStore::open_with_sync_point(
+        scratch.path(),
+        StoreConfig::default(),
+        Arc::clone(&hook) as Arc<dyn SyncPoint>,
+    )
+    .unwrap();
+    let shared = SharedClaimStore::from_store(store);
+    // Writers and a maintenance thread race; the scope ends with frames
+    // potentially appended after the last tick's fsync.
+    std::thread::scope(|scope| {
+        let writer = shared.clone();
+        scope.spawn(move || {
+            for (s, d, v) in CLAIMS {
+                writer.ingest(s, d, v);
+            }
+        });
+        let maintainer = shared.clone();
+        scope.spawn(move || {
+            for _ in 0..4 {
+                maintainer.maintenance_tick(1000, 1000);
+                std::thread::yield_now();
+            }
+        });
+    });
+    drop(shared); // the last handle: drop must flush whatever the ticks missed
+    let mut recovered = ClaimStore::open(scratch.path()).unwrap();
+    assert_eq!(
+        recovered.snapshot().dataset,
+        builder_dataset(CLAIMS),
+        "every acknowledged ingest survives an orderly shutdown mid-maintenance"
+    );
+    // The event stream ends with a WAL fsync (from the drop or the final
+    // tick) — never with an unflushed frame append.
+    let events = hook.events.lock().unwrap();
+    assert_eq!(
+        events.iter().rev().find(|(tag, _)| tag.starts_with("wal:")).map(|(t, _)| t.as_str()),
+        Some("wal:fsync"),
+        "the last WAL event must be a flush: {events:?}"
+    );
 }
 
 fn workload_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, u8)>> {

@@ -26,6 +26,7 @@
 //! | [`nra`] | `copydet-nra` | Fagin's NRA top-k aggregation |
 //! | [`synth`] | `copydet-synth` | synthetic workloads with planted copying |
 //! | [`store`] | `copydet-store` | segmented live claim store, snapshots, deltas, live detection |
+//! | [`serve`] | `copydet-serve` | sharded serving engine: item-partitioned stores, fan-out rounds, TCP frontend |
 //! | [`eval`] | `copydet-eval` | metrics and the per-table experiment drivers |
 //!
 //! ## Quick start
@@ -68,6 +69,7 @@ pub use copydet_fusion as fusion;
 pub use copydet_index as index;
 pub use copydet_model as model;
 pub use copydet_nra as nra;
+pub use copydet_serve as serve;
 pub use copydet_store as store;
 pub use copydet_synth as synth;
 
@@ -88,6 +90,7 @@ pub mod prelude {
     pub use copydet_model::{
         Dataset, DatasetBuilder, DatasetDelta, ItemId, SourceId, SourcePair, ValueId,
     };
+    pub use copydet_serve::{Router, ShardedDetector, ShardedStore};
     pub use copydet_store::{
         ClaimStore, LiveDetector, SharedClaimStore, StoreConfig, StoreIoError, StoreSnapshot,
     };
