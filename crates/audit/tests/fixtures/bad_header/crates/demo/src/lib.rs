@@ -1,0 +1,5 @@
+//! Seeded lint-header violation: the deny/warn headers are missing.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

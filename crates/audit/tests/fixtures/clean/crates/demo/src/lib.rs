@@ -1,0 +1,19 @@
+//! A crate that satisfies every audit lint.
+
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+#![warn(missing_docs)]
+
+/// Reads safely, returns typed errors, never panics.
+pub fn first(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_index_and_unwrap() {
+        let v = vec![1u8, 2];
+        assert_eq!(v[0], super::first(&v).unwrap());
+    }
+}

@@ -1,0 +1,6 @@
+//! Lock declarations outside the serve/store scope need no annotation.
+
+use std::sync::Mutex;
+
+/// A lock the `lock-rank` lint ignores (wrong crate).
+pub static UNRANKED: Mutex<u32> = Mutex::new(0);

@@ -1,0 +1,17 @@
+//! A ranked lock with its annotation, matching the DESIGN.md table.
+
+use std::sync::Mutex;
+
+/// Routing table guarded by the process's only ranked lock.
+pub struct Router {
+    // lock-rank: 10 (demo.router.table)
+    table: Mutex<Vec<u32>>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Self {
+        // lock-rank: 10 (demo.router.table)
+        Self { table: Mutex::new(Vec::new()) }
+    }
+}

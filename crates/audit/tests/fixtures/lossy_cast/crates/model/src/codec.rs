@@ -1,0 +1,15 @@
+//! Seeded lossy-cast violation: a bare `as` integer narrowing.
+
+pub fn declared_len(len: usize) -> u32 {
+    len as u32
+}
+
+pub fn widen_is_also_flagged(len: u32) -> u64 {
+    // Widening is lossless today, but `as` hides it if the types drift;
+    // the lint wants `u64::from` / `try_from` uniformly.
+    len as u64
+}
+
+pub fn float_is_fine(len: u32) -> f64 {
+    len as f64
+}

@@ -1,0 +1,13 @@
+//! Seeded lock-rank violation: a Mutex declaration with no annotation.
+
+use std::sync::Mutex;
+
+pub struct Registry {
+    names: Mutex<Vec<String>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self { names: Mutex::new(Vec::new()) }
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded no-panic violations: unwrap, indexing, and a panic! macro.
+
+pub fn kind_of(frame: &[u8]) -> u8 {
+    frame[0]
+}
+
+pub fn first_or_die(frame: &[u8]) -> u8 {
+    frame.first().copied().unwrap()
+}
+
+pub fn never(msg: &str) -> ! {
+    panic!("{msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_exempt() {
+        assert_eq!(super::kind_of(&[7][..]), [7u8][0]);
+    }
+}

@@ -1,0 +1,8 @@
+//! An annotated lock whose DESIGN.md table is out of date.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    // lock-rank: 20 (demo.store.shard)
+    inner: Mutex<u64>,
+}

@@ -34,6 +34,7 @@
 //!   rule.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod accuracy;

@@ -6,6 +6,7 @@
 //! bench measures the same thing on the same data.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 use copydet_bayes::{CopyParams, SourceAccuracies, ValueProbabilities};

@@ -22,6 +22,7 @@
 //! consistent accounting so the paper's Figure 2 can be regenerated.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod api;

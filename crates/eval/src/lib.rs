@@ -23,6 +23,7 @@
 //! regenerated from the command line.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod config;

@@ -24,6 +24,7 @@
 //! accuracy-weighted fusion without copy detection ([`accu_fusion`]).
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod accu;

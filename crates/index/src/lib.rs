@@ -32,6 +32,7 @@
 //! the by-contribution order.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod builder;

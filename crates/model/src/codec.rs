@@ -18,14 +18,19 @@
 //!
 //! Decoding is total: any byte slice either decodes or returns a typed
 //! [`CodecError`] — never a panic — which is what lets the store treat
-//! arbitrary on-disk bytes as untrusted input.
+//! arbitrary on-disk bytes as untrusted input. This module is on the
+//! `copydet-audit` **no-panic** and **lossy-cast** lists: every length
+//! conversion is a checked `try_from` (see [`u32_to_usize`] /
+//! [`usize_to_u64`]) and every slice access is a total `get`-style read.
 //!
 //! The same primitives carry the **serving wire protocol**: request and
 //! response payloads travel as checksummed frames
 //! (`[kind][len][payload][crc32]`, see [`encode_wire_frame`] /
 //! [`decode_wire_frame`]), sized for a stream reader that learns the body
-//! length from the fixed [`WIRE_HEADER_LEN`]-byte header and bounded by
-//! [`MAX_WIRE_FRAME_LEN`] so hostile peers cannot drive allocations.
+//! length from the fixed [`WIRE_HEADER_LEN`]-byte header (then validates
+//! header + body with [`decode_wire_parts`], no reassembly copy) and
+//! bounded by [`MAX_WIRE_FRAME_LEN`] so hostile peers cannot drive
+//! allocations.
 //!
 //! [`Interner`]: crate::Interner
 
@@ -61,6 +66,12 @@ pub enum CodecError {
         /// The offending length in bytes.
         len: usize,
     },
+    /// A wire-frame payload exceeded [`MAX_WIRE_FRAME_LEN`] on the encode
+    /// side.
+    FrameTooLong {
+        /// The offending payload length in bytes.
+        len: usize,
+    },
     /// A wire frame's checksum did not match its payload.
     ChecksumMismatch {
         /// The checksum carried by the frame.
@@ -82,6 +93,12 @@ impl fmt::Display for CodecError {
             CodecError::StringTooLong { len } => {
                 write!(f, "string of {len} bytes exceeds the {MAX_STR_LEN}-byte limit")
             }
+            CodecError::FrameTooLong { len } => {
+                write!(
+                    f,
+                    "wire payload of {len} bytes exceeds the {MAX_WIRE_FRAME_LEN}-byte frame limit"
+                )
+            }
             CodecError::ChecksumMismatch { stored, computed } => {
                 write!(f, "checksum mismatch: frame carries {stored:#010x}, payload computes {computed:#010x}")
             }
@@ -90,6 +107,34 @@ impl fmt::Display for CodecError {
 }
 
 impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// Checked width conversions
+// ---------------------------------------------------------------------------
+
+/// Widens a `u32` to `usize` without an `as` cast.
+///
+/// Lossless on every supported target (`usize` is at least 32 bits); the
+/// saturating fallback keeps the conversion total — and panic-free — even
+/// on a hypothetical 16-bit target, where a saturated length simply fails
+/// the caller's bounds check instead of wrapping.
+#[must_use]
+pub fn u32_to_usize(v: u32) -> usize {
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+/// Widens a `usize` to `u64` without an `as` cast.
+///
+/// Lossless on every supported target (`usize` is at most 64 bits); the
+/// saturating fallback keeps the conversion total everywhere else.
+#[must_use]
+pub fn usize_to_u64(v: usize) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------------
 
 /// Appends a `u8` to `out`.
 pub fn put_u8(out: &mut Vec<u8>, v: u8) {
@@ -115,7 +160,10 @@ pub fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), CodecError> {
     if s.len() > MAX_STR_LEN {
         return Err(CodecError::StringTooLong { len: s.len() });
     }
-    put_u32(out, s.len() as u32);
+    // MAX_STR_LEN < u32::MAX, so this only fails if the check above is
+    // broken — and then it fails loudly as an error, not a truncation.
+    let len = u32::try_from(s.len()).map_err(|_| CodecError::StringTooLong { len: s.len() })?;
+    put_u32(out, len);
     out.extend_from_slice(s.as_bytes());
     Ok(())
 }
@@ -146,26 +194,25 @@ pub const WIRE_HEADER_LEN: usize = 5;
 ///
 /// The header is fixed-size so a stream reader can read exactly
 /// [`WIRE_HEADER_LEN`] bytes, learn the remaining length, and then read
-/// `len + 4` more; [`decode_wire_frame`] validates the reassembled frame.
-/// `kind` identifies the request/response type — the codec does not
-/// interpret it.
+/// `len + 4` more; [`decode_wire_parts`] validates the two pieces without
+/// reassembling them. `kind` identifies the request/response type — the
+/// codec does not interpret it.
 ///
-/// # Panics
-/// Panics if `payload` exceeds [`MAX_WIRE_FRAME_LEN`] bytes; wire payloads
-/// are built by the caller, so an oversized one is a programming error, not
-/// hostile input.
-pub fn encode_wire_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
-    assert!(
-        payload.len() as u64 <= MAX_WIRE_FRAME_LEN as u64,
-        "wire payload of {} bytes exceeds the {MAX_WIRE_FRAME_LEN}-byte frame limit",
-        payload.len()
-    );
+/// # Errors
+/// Returns [`CodecError::FrameTooLong`] if `payload` exceeds
+/// [`MAX_WIRE_FRAME_LEN`] bytes; oversized responses must surface as typed
+/// protocol errors, never kill a handler thread.
+pub fn encode_wire_frame(kind: u8, payload: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&len| len <= MAX_WIRE_FRAME_LEN)
+        .ok_or(CodecError::FrameTooLong { len: payload.len() })?;
     let mut out = Vec::with_capacity(WIRE_HEADER_LEN + payload.len() + 4);
     put_u8(&mut out, kind);
-    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, len);
     out.extend_from_slice(payload);
     put_u32(&mut out, crc32_ieee(payload));
-    out
+    Ok(out)
 }
 
 /// Decodes the declared payload length from a wire-frame header, bounding it
@@ -173,73 +220,98 @@ pub fn encode_wire_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
 /// header (payload + checksum).
 ///
 /// # Errors
-/// [`CodecError::Truncated`] if fewer than [`WIRE_HEADER_LEN`] bytes are
-/// given; [`CodecError::StringTooLong`] (reusing the bounded-length error)
-/// if the declared length exceeds the frame limit.
+/// [`CodecError::StringTooLong`] (reusing the bounded-length error) if the
+/// declared length exceeds the frame limit.
 pub fn wire_frame_body_len(header: &[u8; WIRE_HEADER_LEN]) -> Result<usize, CodecError> {
-    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]);
+    let [_, l0, l1, l2, l3] = *header;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
     if len > MAX_WIRE_FRAME_LEN {
-        return Err(CodecError::StringTooLong { len: len as usize });
+        return Err(CodecError::StringTooLong { len: u32_to_usize(len) });
     }
-    Ok(len as usize + 4)
+    Ok(u32_to_usize(len) + 4)
 }
 
-/// Validates a complete wire frame (header + payload + checksum) and returns
-/// `(kind, payload)`.
+/// Validates a wire frame split into its fixed-size header and the body a
+/// stream reader fetched separately ([`wire_frame_body_len`] bytes), and
+/// returns `(kind, payload)` borrowing from `body` — no reassembly copy.
+///
+/// Extra bytes beyond the declared payload + checksum are ignored, so a
+/// caller holding a longer buffer can pass it unsliced.
 ///
 /// # Errors
-/// [`CodecError::Truncated`] if the bytes end before the declared payload
-/// and checksum, [`CodecError::StringTooLong`] for an over-limit length,
-/// [`CodecError::ChecksumMismatch`] when the payload fails its CRC.
-pub fn decode_wire_frame(bytes: &[u8]) -> Result<(u8, &[u8]), CodecError> {
-    if bytes.len() < WIRE_HEADER_LEN {
-        return Err(CodecError::Truncated { needed: WIRE_HEADER_LEN, have: bytes.len() });
-    }
-    let kind = bytes[0];
-    let len = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+/// [`CodecError::Truncated`] if `body` ends before the declared payload and
+/// checksum, [`CodecError::StringTooLong`] for an over-limit declared
+/// length, [`CodecError::ChecksumMismatch`] when the payload fails its CRC.
+pub fn decode_wire_parts<'a>(
+    header: &[u8; WIRE_HEADER_LEN],
+    body: &'a [u8],
+) -> Result<(u8, &'a [u8]), CodecError> {
+    let [kind, l0, l1, l2, l3] = *header;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
     if len > MAX_WIRE_FRAME_LEN {
-        return Err(CodecError::StringTooLong { len: len as usize });
+        return Err(CodecError::StringTooLong { len: u32_to_usize(len) });
     }
-    let total = WIRE_HEADER_LEN + len as usize + 4;
-    if bytes.len() < total {
-        return Err(CodecError::Truncated { needed: total, have: bytes.len() });
-    }
-    let payload = &bytes[WIRE_HEADER_LEN..WIRE_HEADER_LEN + len as usize];
-    let stored = u32::from_le_bytes([
-        bytes[total - 4],
-        bytes[total - 3],
-        bytes[total - 2],
-        bytes[total - 1],
-    ]);
-    let actual = crc32_ieee(payload);
-    if stored != actual {
-        return Err(CodecError::ChecksumMismatch { stored, computed: actual });
+    let payload_len = u32_to_usize(len);
+    let needed = payload_len + 4;
+    let payload =
+        body.get(..payload_len).ok_or(CodecError::Truncated { needed, have: body.len() })?;
+    let stored = match body.get(payload_len..needed) {
+        Some(&[c0, c1, c2, c3]) => u32::from_le_bytes([c0, c1, c2, c3]),
+        _ => return Err(CodecError::Truncated { needed, have: body.len() }),
+    };
+    let computed = crc32_ieee(payload);
+    if stored != computed {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
     }
     Ok((kind, payload))
 }
 
+/// Validates a complete contiguous wire frame (header + payload + checksum)
+/// and returns `(kind, payload)`. Convenience wrapper over
+/// [`decode_wire_parts`] for callers that hold the whole frame in one
+/// buffer.
+///
+/// # Errors
+/// As [`decode_wire_parts`], plus [`CodecError::Truncated`] if even the
+/// header is incomplete.
+pub fn decode_wire_frame(bytes: &[u8]) -> Result<(u8, &[u8]), CodecError> {
+    let too_short = CodecError::Truncated { needed: WIRE_HEADER_LEN, have: bytes.len() };
+    let (header, body) = bytes.split_at_checked(WIRE_HEADER_LEN).ok_or(too_short.clone())?;
+    let header: &[u8; WIRE_HEADER_LEN] = header.try_into().map_err(|_| too_short)?;
+    decode_wire_parts(header, body)
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
 const WIRE_CRC_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
-        let mut crc = i as u32;
+        // Const-eval has no `try_from`; `i` stays in 0..256, so both the
+        // cast and the index are in range by construction.
+        let mut crc = i as u32; // audit: allow(lossy-cast) — const loop var in 0..256
         let mut bit = 0;
         while bit < 8 {
             crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
             bit += 1;
         }
-        table[i] = crc;
+        table[i] = crc; // audit: allow(no-panic) — const index in 0..256 of a [u32; 256]
         i += 1;
     }
     table
 };
+
+/// One CRC table step: the table is 256 entries, so a `u8` index is total.
+fn wire_crc(index: u8) -> u32 {
+    WIRE_CRC_TABLE.get(usize::from(index)).copied().unwrap_or(0)
+}
 
 /// CRC32 (IEEE 802.3) of `bytes` — the checksum of wire frames, shared with
 /// the store's on-disk envelopes.
 pub fn crc32_ieee(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
-        crc = (crc >> 8) ^ WIRE_CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        let [low, ..] = (crc ^ u32::from(b)).to_le_bytes();
+        crc = (crc >> 8) ^ wire_crc(low);
     }
     !crc
 }
@@ -276,35 +348,40 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError::Truncated { needed: n, have: self.remaining() });
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let short = CodecError::Truncated { needed: n, have: self.remaining() };
+        let end = self.pos.checked_add(n).ok_or(short.clone())?;
+        let slice = self.buf.get(self.pos..end).ok_or(short)?;
+        self.pos = end;
         Ok(slice)
+    }
+
+    /// Reads exactly `N` bytes into an array.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let slice = self.take(N)?;
+        // `take` returned exactly N bytes; the conversion is total anyway.
+        slice.try_into().map_err(|_| CodecError::Truncated { needed: N, have: slice.len() })
     }
 
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_array()?;
+        Ok(b)
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a length-prefixed UTF-8 string as a borrowed slice.
     pub fn str_ref(&mut self) -> Result<&'a str, CodecError> {
         let start = self.pos;
-        let len = self.u32()? as usize;
+        let len = u32_to_usize(self.u32()?);
         if len > MAX_STR_LEN {
             self.pos = start;
             return Err(CodecError::StringTooLong { len });
@@ -348,6 +425,7 @@ impl<'a> Reader<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 
@@ -371,6 +449,14 @@ mod tests {
         assert_eq!(r.string().unwrap(), "");
         assert_eq!(r.claim().unwrap(), claim);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn width_conversions_are_lossless() {
+        assert_eq!(u32_to_usize(0), 0);
+        assert_eq!(u32_to_usize(u32::MAX), u32::MAX as usize);
+        assert_eq!(usize_to_u64(0), 0);
+        assert_eq!(usize_to_u64(usize::MAX), usize::MAX as u64);
     }
 
     #[test]
@@ -426,6 +512,7 @@ mod tests {
         assert!(CodecError::Truncated { needed: 4, have: 1 }.to_string().contains("needed 4"));
         assert!(CodecError::Utf8 { valid_up_to: 2 }.to_string().contains("UTF-8"));
         assert!(CodecError::StringTooLong { len: 9 }.to_string().contains("9 bytes"));
+        assert!(CodecError::FrameTooLong { len: 99 }.to_string().contains("99 bytes"));
         assert!(CodecError::ChecksumMismatch { stored: 1, computed: 2 }
             .to_string()
             .contains("checksum mismatch"));
@@ -436,7 +523,7 @@ mod tests {
         let mut payload = Vec::new();
         put_str(&mut payload, "hello").unwrap();
         put_u32(&mut payload, 42);
-        let frame = encode_wire_frame(7, &payload);
+        let frame = encode_wire_frame(7, &payload).unwrap();
         assert_eq!(frame.len(), WIRE_HEADER_LEN + payload.len() + 4);
 
         // The header alone predicts the body length for a stream reader.
@@ -444,6 +531,11 @@ mod tests {
         assert_eq!(wire_frame_body_len(&header).unwrap(), payload.len() + 4);
 
         let (kind, got) = decode_wire_frame(&frame).unwrap();
+        assert_eq!(kind, 7);
+        assert_eq!(got, payload.as_slice());
+
+        // The split-decode path a stream reader uses agrees exactly.
+        let (kind, got) = decode_wire_parts(&header, &frame[WIRE_HEADER_LEN..]).unwrap();
         assert_eq!(kind, 7);
         assert_eq!(got, payload.as_slice());
 
@@ -467,8 +559,17 @@ mod tests {
         assert!(matches!(wire_frame_body_len(&header), Err(CodecError::StringTooLong { .. })));
 
         // Empty payloads are legal frames (SHUTDOWN, STATS requests).
-        let empty = encode_wire_frame(4, &[]);
+        let empty = encode_wire_frame(4, &[]).unwrap();
         assert_eq!(decode_wire_frame(&empty).unwrap(), (4, &[][..]));
+    }
+
+    #[test]
+    fn oversized_encode_is_a_typed_error() {
+        let huge = vec![0u8; u32_to_usize(MAX_WIRE_FRAME_LEN) + 1];
+        assert_eq!(
+            encode_wire_frame(1, &huge).unwrap_err(),
+            CodecError::FrameTooLong { len: huge.len() }
+        );
     }
 
     #[test]

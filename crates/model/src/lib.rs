@@ -38,9 +38,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod builder;
+#[warn(clippy::cast_possible_truncation, clippy::indexing_slicing)]
 pub mod codec;
 mod dataset;
 mod delta;
@@ -51,6 +53,7 @@ mod motivating;
 mod names;
 mod observation;
 mod stats;
+pub mod sync;
 pub mod tsv;
 
 pub use builder::DatasetBuilder;

@@ -1,0 +1,411 @@
+//! Rank-disciplined lock wrappers: [`RankedMutex`] and [`RankedRwLock`].
+//!
+//! The serving stack holds a small lock hierarchy — the sharded store's
+//! global name registry over per-shard store mutexes, plus the frontend's
+//! connection registry — and the only thing standing between "works today"
+//! and "deadlocks under next month's refactor" is the *order* those locks
+//! are taken in. This module turns that order from a convention into a
+//! machine-checked invariant, twice over:
+//!
+//! * **statically** — `copydet-audit` requires every `Mutex`/`RwLock`
+//!   declaration in the workspace to carry a `// lock-rank: N (name)`
+//!   annotation and cross-checks the declared ranks against the table in
+//!   `DESIGN.md` (§8);
+//! * **dynamically** — these wrappers keep a thread-local stack of held
+//!   ranks and `debug_assert` on every acquisition that the new lock's rank
+//!   is **strictly greater** than every rank the thread already holds.
+//!
+//! Strictly-greater (not greater-or-equal) means a thread can never nest
+//! two locks of the same rank — which is exactly the discipline the
+//! item-partitioned shard mutexes rely on: they share one rank and are only
+//! ever taken one at a time, so two threads sweeping the shards in
+//! different orders cannot deadlock.
+//!
+//! The bookkeeping exists only under `cfg(debug_assertions)`; release
+//! builds compile the wrappers down to the plain `std::sync` primitives
+//! with zero overhead. Debug test runs — including the ingest-while-
+//! detecting stress suites — therefore double as lock-order checkers.
+//!
+//! Lock poisoning is handled inside the wrappers: a panic while holding a
+//! lock poisons it, and any later acquisition panics with the lock's
+//! registered name. That keeps `unwrap`/`expect` chains out of the audited
+//! server paths while preserving fail-fast semantics.
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(debug_assertions)]
+mod rank_stack {
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks (with names and acquisition tokens) currently held by this
+        /// thread, in acquisition order. Tokens make release order-agnostic:
+        /// guards may drop in any order, so each pops its own entry.
+        static HELD: RefCell<Vec<(u32, &'static str, u64)>> = const { RefCell::new(Vec::new()) };
+        static NEXT_TOKEN: RefCell<u64> = const { RefCell::new(0) };
+    }
+
+    /// Records an acquisition, asserting the rank discipline first.
+    pub(super) fn acquire(rank: u32, name: &'static str) -> u64 {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(top_rank, top_name, _)) = held.iter().max_by_key(|&&(rank, _, _)| rank) {
+                assert!(
+                    rank > top_rank,
+                    "lock rank violation: acquiring '{name}' (rank {rank}) while holding \
+                     '{top_name}' (rank {top_rank}); locks must be acquired in strictly \
+                     increasing rank order (see DESIGN.md §8)"
+                );
+            }
+            let token = NEXT_TOKEN.with(|t| {
+                let mut t = t.borrow_mut();
+                *t += 1;
+                *t
+            });
+            held.push((rank, name, token));
+            token
+        })
+    }
+
+    /// Records a release by acquisition token.
+    pub(super) fn release(token: u64) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&(_, _, t)| t == token) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Greatest rank currently held by this thread, if any (test hook).
+    pub(super) fn max_held() -> Option<u32> {
+        HELD.with(|held| held.borrow().iter().map(|&(rank, _, _)| rank).max())
+    }
+}
+
+/// RAII record of one rank acquisition; popping happens on drop, so it must
+/// be held alongside the lock guard it accounts for.
+#[derive(Debug)]
+struct RankToken {
+    #[cfg(debug_assertions)]
+    token: u64,
+}
+
+impl RankToken {
+    fn acquire(rank: u32, name: &'static str) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            Self { token: rank_stack::acquire(rank, name) }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (rank, name);
+            Self {}
+        }
+    }
+}
+
+impl Drop for RankToken {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        rank_stack::release(self.token);
+    }
+}
+
+/// Greatest lock rank the current thread holds, if any.
+///
+/// Debug-only introspection for tests that want to assert a code path runs
+/// lock-free (or at a bounded rank); returns `None` in release builds.
+pub fn max_held_rank() -> Option<u32> {
+    #[cfg(debug_assertions)]
+    {
+        rank_stack::max_held()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        None
+    }
+}
+
+/// A [`Mutex`] that participates in the workspace lock hierarchy.
+///
+/// Construction registers a **rank** and a **name**; every
+/// [`lock`](Self::lock) asserts (debug builds only) that the acquiring
+/// thread holds no lock of equal or greater rank. See the module docs for
+/// the discipline.
+#[derive(Debug, Default)]
+pub struct RankedMutex<T> {
+    rank: u32,
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+/// The guard of a [`RankedMutex`]; releases the rank on drop.
+#[derive(Debug)]
+pub struct RankedMutexGuard<'a, T> {
+    // Declaration order matters: the lock guard drops before the rank pops.
+    guard: MutexGuard<'a, T>,
+    _token: RankToken,
+}
+
+impl<T> RankedMutex<T> {
+    /// Wraps `value` in a mutex of the given `rank`, named for diagnostics.
+    pub fn new(rank: u32, name: &'static str, value: T) -> Self {
+        Self { rank, name, inner: Mutex::new(value) }
+    }
+
+    /// The mutex's rank in the lock hierarchy.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// The mutex's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires the mutex, asserting the rank discipline in debug builds.
+    ///
+    /// # Panics
+    /// Panics if the lock is poisoned (a previous holder panicked), or — in
+    /// debug builds — if the acquiring thread already holds a lock of equal
+    /// or greater rank.
+    pub fn lock(&self) -> RankedMutexGuard<'_, T> {
+        let token = RankToken::acquire(self.rank, self.name);
+        match self.inner.lock() {
+            Ok(guard) => RankedMutexGuard { guard, _token: token },
+            Err(poisoned) => {
+                drop(poisoned);
+                panic!("lock '{}' poisoned: a previous holder panicked", self.name)
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RankedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for RankedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// An [`RwLock`] that participates in the workspace lock hierarchy.
+///
+/// Both [`read`](Self::read) and [`write`](Self::write) count as
+/// acquisitions for the rank discipline: a shared read nested inside a
+/// same-rank lock can deadlock against a queued writer just as a write can,
+/// so neither is exempt.
+#[derive(Debug, Default)]
+pub struct RankedRwLock<T> {
+    rank: u32,
+    name: &'static str,
+    inner: RwLock<T>,
+}
+
+/// The shared-read guard of a [`RankedRwLock`].
+#[derive(Debug)]
+pub struct RankedReadGuard<'a, T> {
+    guard: RwLockReadGuard<'a, T>,
+    _token: RankToken,
+}
+
+/// The exclusive-write guard of a [`RankedRwLock`].
+#[derive(Debug)]
+pub struct RankedWriteGuard<'a, T> {
+    guard: RwLockWriteGuard<'a, T>,
+    _token: RankToken,
+}
+
+impl<T> RankedRwLock<T> {
+    /// Wraps `value` in an rwlock of the given `rank`, named for
+    /// diagnostics.
+    pub fn new(rank: u32, name: &'static str, value: T) -> Self {
+        Self { rank, name, inner: RwLock::new(value) }
+    }
+
+    /// The lock's rank in the lock hierarchy.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// The lock's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires shared read access, asserting the rank discipline in debug
+    /// builds.
+    ///
+    /// # Panics
+    /// Panics if the lock is poisoned, or — in debug builds — on a rank
+    /// violation.
+    pub fn read(&self) -> RankedReadGuard<'_, T> {
+        let token = RankToken::acquire(self.rank, self.name);
+        match self.inner.read() {
+            Ok(guard) => RankedReadGuard { guard, _token: token },
+            Err(poisoned) => {
+                drop(poisoned);
+                panic!("lock '{}' poisoned: a previous holder panicked", self.name)
+            }
+        }
+    }
+
+    /// Acquires exclusive write access, asserting the rank discipline in
+    /// debug builds.
+    ///
+    /// # Panics
+    /// Panics if the lock is poisoned, or — in debug builds — on a rank
+    /// violation.
+    pub fn write(&self) -> RankedWriteGuard<'_, T> {
+        let token = RankToken::acquire(self.rank, self.name);
+        match self.inner.write() {
+            Ok(guard) => RankedWriteGuard { guard, _token: token },
+            Err(poisoned) => {
+                drop(poisoned);
+                panic!("lock '{}' poisoned: a previous holder panicked", self.name)
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RankedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::Deref for RankedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for RankedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_acquisition_is_allowed_and_released() {
+        let low = RankedMutex::new(10, "low", 1);
+        let high = RankedMutex::new(20, "high", 2);
+        {
+            let a = low.lock();
+            let b = high.lock();
+            assert_eq!(*a + *b, 3);
+            if cfg!(debug_assertions) {
+                assert_eq!(max_held_rank(), Some(20));
+            }
+        }
+        assert_eq!(max_held_rank(), None);
+        // After release, each lock is acquirable again on its own.
+        drop(high.lock());
+        drop(low.lock());
+    }
+
+    #[test]
+    fn guards_release_out_of_order() {
+        let a = RankedMutex::new(10, "a", ());
+        let b = RankedMutex::new(20, "b", ());
+        let c = RankedMutex::new(30, "c", ());
+        let ga = a.lock();
+        let gb = b.lock();
+        let gc = c.lock();
+        // Release the middle guard first: the stack must not corrupt.
+        drop(gb);
+        if cfg!(debug_assertions) {
+            assert_eq!(max_held_rank(), Some(30));
+        }
+        drop(ga);
+        drop(gc);
+        assert_eq!(max_held_rank(), None);
+    }
+
+    #[test]
+    fn rwlock_read_then_higher_write_is_allowed() {
+        let registry = RankedRwLock::new(10, "registry", vec![1, 2]);
+        let shard = RankedMutex::new(20, "shard", 0u32);
+        let names = registry.read();
+        let mut guard = shard.lock();
+        *guard += names.len() as u32;
+        drop(guard);
+        drop(names);
+        *registry.write() = vec![3];
+        assert_eq!(*registry.read(), vec![3]);
+    }
+
+    #[test]
+    fn ranks_and_names_are_introspectable() {
+        let m = RankedMutex::new(42, "answer", ());
+        assert_eq!((m.rank(), m.name()), (42, "answer"));
+        let rw = RankedRwLock::new(7, "seven", ());
+        assert_eq!((rw.rank(), rw.name()), (7, "seven"));
+    }
+
+    // The inverted-acquisition tests only exist in debug builds: release
+    // builds compile the rank bookkeeping away entirely.
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock rank violation")]
+    fn inverted_mutex_acquisition_panics() {
+        let registry = RankedMutex::new(10, "registry", ());
+        let shard = RankedMutex::new(20, "shard", ());
+        let _shard_guard = shard.lock();
+        let _registry_guard = registry.lock(); // rank 10 under rank 20: refused
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock rank violation")]
+    fn same_rank_nesting_panics() {
+        let a = RankedMutex::new(20, "shard-a", ());
+        let b = RankedMutex::new(20, "shard-b", ());
+        let _ga = a.lock();
+        let _gb = b.lock(); // two shard-rank locks nested: refused
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock rank violation")]
+    fn inverted_rwlock_read_under_mutex_panics() {
+        let registry = RankedRwLock::new(10, "registry", ());
+        let shard = RankedMutex::new(20, "shard", ());
+        let _shard_guard = shard.lock();
+        let _read = registry.read(); // even a shared read is an acquisition
+    }
+
+    #[test]
+    fn poisoned_lock_panics_with_its_name() {
+        let m = std::sync::Arc::new(RankedMutex::new(10, "poisoned-demo", ()));
+        let clone = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock();
+            panic!("poison it");
+        })
+        .join();
+        let err = std::panic::catch_unwind(|| {
+            let _ = m.lock();
+        })
+        .expect_err("poisoned lock must refuse");
+        let message = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert!(message.contains("poisoned-demo"), "panic names the lock: {message}");
+    }
+}

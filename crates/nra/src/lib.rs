@@ -24,6 +24,7 @@
 //! can be reproduced and sanity-checked end to end.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod list;

@@ -20,6 +20,12 @@
 //! [`codec::MAX_WIRE_FRAME_LEN`], so a hostile peer can neither drive an
 //! allocation nor wedge the reader.
 //!
+//! Frame payloads are **attacker-controlled bytes**: every decode in this
+//! module is total — typed [`ProtocolError`]s become `0x81` responses and
+//! the connection keeps serving; nothing on the request path may panic.
+//! `copydet-audit` enforces this (no-panic + lossy-cast lints cover this
+//! module).
+//!
 //! ## Threading
 //!
 //! One accept thread, one handler thread per connection. Each INGEST batch
@@ -28,15 +34,19 @@
 //! acquisition — the per-shard batching that lets many concurrent clients
 //! stream without convoying on one mutex. DETECT runs a full
 //! [`ShardedDetector`] round (fan-out scan + merge) outside every store
-//! lock.
+//! lock. The connection registry is the highest-ranked lock in the process
+//! (see `DESIGN.md` §8): handlers touch it only while holding no store
+//! lock, and [`RankedMutex`] enforces that order in debug builds.
 
 use crate::detector::ShardedDetector;
 use crate::shard::ShardedStore;
-use copydet_model::codec::{self, CodecError, Reader};
+use copydet_model::codec::{self, u32_to_usize, usize_to_u64, CodecError, Reader};
+use copydet_model::sync::RankedMutex;
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Request kind: ingest a claim batch.
@@ -52,13 +62,99 @@ pub const RESP_OK: u8 = 0x80;
 /// Response kind: failure (payload is the message).
 pub const RESP_ERR: u8 = 0x81;
 
+/// A request the server refuses with a `0x81` response instead of serving.
+///
+/// Every variant is a *recoverable* per-request failure: the handler writes
+/// the message back and keeps the connection alive. Nothing here panics —
+/// frame payloads are untrusted input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A request payload failed to decode.
+    BadPayload {
+        /// The request being decoded (e.g. `"INGEST"`).
+        request: &'static str,
+        /// The codec failure underneath.
+        source: CodecError,
+    },
+    /// Bytes remained after a payload's declared content.
+    TrailingBytes {
+        /// The request being decoded.
+        request: &'static str,
+        /// Undeclared bytes left over.
+        trailing: usize,
+        /// Entries the payload declared.
+        declared: u32,
+    },
+    /// The request kind byte is not part of the protocol.
+    UnknownKind {
+        /// The offending kind byte.
+        kind: u8,
+    },
+    /// A response outgrew a wire-protocol limit.
+    ResponseTooLarge {
+        /// The response being built (e.g. `"DETECT"`).
+        request: &'static str,
+        /// The oversized length.
+        len: usize,
+        /// The limit it exceeded.
+        limit: usize,
+        /// Entries the response was carrying.
+        entries: usize,
+    },
+    /// Response encoding failed (a string over the codec bound).
+    Encode {
+        /// The response being built.
+        request: &'static str,
+        /// The codec failure underneath.
+        source: CodecError,
+    },
+    /// Detection reported a source id the name registry cannot resolve —
+    /// an internal inconsistency reported to the client, never a panic.
+    UnknownSource {
+        /// The unresolvable dense source index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadPayload { request, source } => {
+                write!(f, "bad {request} payload: {source}")
+            }
+            ProtocolError::TrailingBytes { request, trailing, declared } => {
+                write!(
+                    f,
+                    "bad {request} payload: {trailing} trailing byte(s) after the declared \
+                     {declared} entr(y/ies)"
+                )
+            }
+            ProtocolError::UnknownKind { kind } => write!(f, "unknown request kind {kind:#04x}"),
+            ProtocolError::ResponseTooLarge { request, len, limit, entries } => write!(
+                f,
+                "{request} response of {len} bytes exceeds the {limit}-byte frame limit \
+                 ({entries} entries); run detection in-process for results this large"
+            ),
+            ProtocolError::Encode { request, source } => {
+                write!(f, "{request} encoding failed: {source}")
+            }
+            ProtocolError::UnknownSource { index } => {
+                write!(f, "internal error: source index {index} has no registered name")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
 fn invalid(e: CodecError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e.to_string())
 }
 
 /// Writes one frame to a stream.
 fn write_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> io::Result<()> {
-    stream.write_all(&codec::encode_wire_frame(kind, payload))
+    let frame = codec::encode_wire_frame(kind, payload).map_err(invalid)?;
+    stream.write_all(&frame)
 }
 
 /// Reads one frame from a stream; `Ok(None)` on a clean EOF before the
@@ -66,26 +162,33 @@ fn write_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> io::Result<(
 /// surfaces as `UnexpectedEof` like any other truncation.
 fn read_frame(stream: &mut TcpStream) -> io::Result<Option<(u8, Vec<u8>)>> {
     let mut header = [0u8; codec::WIRE_HEADER_LEN];
-    // The first byte decides clean-close vs torn frame, so it is read on
-    // its own: read_exact cannot tell "0 bytes then EOF" from "3 bytes
-    // then EOF".
-    match stream.read(&mut header[..1]) {
-        Ok(0) => return Ok(None),
-        Ok(_) => {}
-        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(stream),
-        Err(e) => return Err(e),
+    {
+        // The first byte decides clean-close vs torn frame, so it is read
+        // on its own: read_exact cannot tell "0 bytes then EOF" from
+        // "3 bytes then EOF".
+        let (first, rest) = header.split_at_mut(1);
+        match stream.read(first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(stream),
+            Err(e) => return Err(e),
+        }
+        stream.read_exact(rest)?;
     }
-    stream.read_exact(&mut header[1..])?;
+    // The header alone bounds the body; the body is validated in place
+    // against the header (kind, declared length, checksum) with no
+    // header+body reassembly copy.
     let body_len = codec::wire_frame_body_len(&header).map_err(invalid)?;
-    let mut frame = Vec::with_capacity(codec::WIRE_HEADER_LEN + body_len);
-    frame.extend_from_slice(&header);
-    frame.resize(codec::WIRE_HEADER_LEN + body_len, 0);
-    stream.read_exact(&mut frame[codec::WIRE_HEADER_LEN..])?;
-    let (kind, payload) = codec::decode_wire_frame(&frame).map_err(invalid)?;
+    let mut body = vec![0u8; body_len];
+    stream.read_exact(&mut body)?;
+    let (kind, payload) = codec::decode_wire_parts(&header, &body).map_err(invalid)?;
     Ok(Some((kind, payload.to_vec())))
 }
 
 /// Per-shard statistics as reported over the wire.
+///
+/// Counts are `u64` on the wire: the server's in-memory counts are `usize`
+/// and the protocol must not narrow them (lossy-cast audit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireShardStats {
     /// Snapshots taken by the shard.
@@ -93,13 +196,13 @@ pub struct WireShardStats {
     /// Live `(source, item)` claims in the shard.
     pub live_claims: u64,
     /// Sources known to the shard.
-    pub num_sources: u32,
+    pub num_sources: u64,
     /// Items routed to the shard.
-    pub num_items: u32,
+    pub num_items: u64,
     /// Distinct values in the shard.
-    pub num_values: u32,
+    pub num_values: u64,
     /// Sealed segments in the shard.
-    pub sealed_segments: u32,
+    pub sealed_segments: u64,
     /// Claims still in the shard's growing segment.
     pub growing_claims: u64,
     /// `true` if the shard persists to disk.
@@ -128,8 +231,19 @@ pub struct WireDetection {
 }
 
 /// The registry of live connections: a socket handle to interrupt each
-/// blocked reader with, plus the handler thread to join.
-type Connections = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+/// blocked reader with, plus the handler thread to join. Highest rank in
+/// the process — it is taken while no store lock is held, and never the
+/// other way around.
+// lock-rank: 30 (serve.frontend.connections)
+type Connections = Arc<RankedMutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// Rank of the connection registry lock (see `DESIGN.md` §8).
+const CONNECTIONS_RANK: u32 = 30;
+
+fn new_connections() -> Connections {
+    // lock-rank: 30 (serve.frontend.connections)
+    Arc::new(RankedMutex::new(CONNECTIONS_RANK, "serve.frontend.connections", Vec::new()))
+}
 
 /// A running frontend: bound address plus the accept thread.
 ///
@@ -172,7 +286,7 @@ impl ServerHandle {
         }
         // Interrupt handlers blocked in a read, then wait for each to drop
         // its store clone.
-        let connections = std::mem::take(&mut *self.connections.lock().expect("registry poisoned"));
+        let connections = std::mem::take(&mut *self.connections.lock());
         for (stream, handle) in connections {
             let _ = stream.shutdown(std::net::Shutdown::Both);
             let _ = handle.join();
@@ -192,7 +306,7 @@ pub fn serve(store: ShardedStore, addr: impl ToSocketAddrs) -> io::Result<Server
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let connections: Connections = Arc::new(Mutex::new(Vec::new()));
+    let connections = new_connections();
     let accept_stop = Arc::clone(&stop);
     let accept_connections = Arc::clone(&connections);
     let accept_thread = std::thread::spawn(move || {
@@ -209,7 +323,7 @@ pub fn serve(store: ShardedStore, addr: impl ToSocketAddrs) -> io::Result<Server
             let handler = std::thread::spawn(move || {
                 let _ = handle_connection(stream, store, stop, server_addr, handler_connections);
             });
-            let mut registry = accept_connections.lock().expect("registry poisoned");
+            let mut registry = accept_connections.lock();
             // Reap finished handlers so a long-lived server's registry holds
             // only live connections.
             registry.retain(|(_, handle)| !handle.is_finished());
@@ -228,82 +342,10 @@ fn handle_connection(
     connections: Connections,
 ) -> io::Result<()> {
     while let Some((kind, payload)) = read_frame(&mut stream)? {
-        match kind {
-            REQ_INGEST => match decode_ingest(&payload) {
-                Ok(claims) => {
-                    // The response carries the batch's own accepted count —
-                    // a fleet-wide total would re-acquire every shard mutex
-                    // right after the batch released them, doubling
-                    // cross-shard lock traffic for a number that is stale
-                    // the moment it is read (STATS reports live totals).
-                    let accepted = store.ingest_batch(
-                        claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())),
-                    );
-                    let mut out = Vec::new();
-                    codec::put_u64(&mut out, accepted as u64);
-                    write_frame(&mut stream, RESP_OK, &out)?;
-                }
-                Err(e) => {
-                    write_error(&mut stream, &format!("bad INGEST payload: {e}"))?;
-                }
-            },
-            REQ_STATS => {
-                let mut out = Vec::new();
-                let stats = store.shard_stats();
-                codec::put_u32(&mut out, stats.len() as u32);
-                for s in stats {
-                    codec::put_u64(&mut out, s.epoch);
-                    codec::put_u64(&mut out, s.live_claims as u64);
-                    codec::put_u32(&mut out, s.num_sources as u32);
-                    codec::put_u32(&mut out, s.num_items as u32);
-                    codec::put_u32(&mut out, s.num_values as u32);
-                    codec::put_u32(&mut out, s.sealed_segments as u32);
-                    codec::put_u64(&mut out, s.growing_claims as u64);
-                    codec::put_u8(&mut out, u8::from(s.durable));
-                }
-                write_frame(&mut stream, RESP_OK, &out)?;
-            }
-            REQ_DETECT => {
-                let result = ShardedDetector::new().detect_round(&store);
-                // Pair ids live in the global registry's id space; the
-                // read-locked name list resolves them in O(sources) without
-                // stalling concurrent ingest batches.
-                let names = store.global_source_names();
-                let mut out = Vec::new();
-                codec::put_u64(&mut out, result.pairs_considered as u64);
-                let mut copying: Vec<_> =
-                    result.outcomes.iter().filter(|(_, o)| o.decision.is_copying()).collect();
-                copying.sort_by_key(|(pair, _)| **pair);
-                codec::put_u32(&mut out, copying.len() as u32);
-                let mut encode = || -> Result<(), CodecError> {
-                    for (pair, outcome) in &copying {
-                        codec::put_str(&mut out, &names[pair.first().index()])?;
-                        codec::put_str(&mut out, &names[pair.second().index()])?;
-                        codec::put_u64(&mut out, outcome.posterior.unwrap_or(0.0).to_bits());
-                    }
-                    Ok(())
-                };
-                match encode() {
-                    // The response size is data-dependent (every copying
-                    // pair carries two names): an over-limit payload must be
-                    // a typed protocol error, not the encode_wire_frame
-                    // assertion killing the handler thread.
-                    Ok(()) if out.len() as u64 <= codec::MAX_WIRE_FRAME_LEN as u64 => {
-                        write_frame(&mut stream, RESP_OK, &out)?
-                    }
-                    Ok(()) => write_error(
-                        &mut stream,
-                        &format!(
-                            "DETECT response of {} bytes exceeds the {}-byte frame limit ({} \
-                             copying pairs); run detection in-process for results this large",
-                            out.len(),
-                            codec::MAX_WIRE_FRAME_LEN,
-                            copying.len()
-                        ),
-                    )?,
-                    Err(e) => write_error(&mut stream, &format!("DETECT encoding failed: {e}"))?,
-                }
-            }
+        let response = match kind {
+            REQ_INGEST => handle_ingest(&store, &payload),
+            REQ_STATS => Ok(handle_stats(&store)),
+            REQ_DETECT => handle_detect(&store),
             REQ_SHUTDOWN => {
                 stop.store(true, Ordering::SeqCst);
                 write_frame(&mut stream, RESP_OK, &[])?;
@@ -315,7 +357,7 @@ fn handle_connection(
                 // one's response is already written; skipping it keeps the
                 // OK from being discarded by an abortive close).
                 let own = stream.peer_addr().ok();
-                let registry = connections.lock().expect("registry poisoned");
+                let registry = connections.lock();
                 for (other, _) in registry.iter() {
                     if own.is_none() || other.peer_addr().ok() != own {
                         let _ = other.shutdown(std::net::Shutdown::Both);
@@ -323,12 +365,96 @@ fn handle_connection(
                 }
                 break;
             }
-            other => {
-                write_error(&mut stream, &format!("unknown request kind {other:#04x}"))?;
-            }
+            other => Err(ProtocolError::UnknownKind { kind: other }),
+        };
+        match response {
+            Ok(out) => write_frame(&mut stream, RESP_OK, &out)?,
+            Err(e) => write_error(&mut stream, &e.to_string())?,
         }
     }
     Ok(())
+}
+
+/// INGEST: decode the batch, apply it, answer with the accepted count.
+fn handle_ingest(store: &ShardedStore, payload: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+    let claims = decode_ingest(payload)?;
+    // The response carries the batch's own accepted count — a fleet-wide
+    // total would re-acquire every shard mutex right after the batch
+    // released them, doubling cross-shard lock traffic for a number that is
+    // stale the moment it is read (STATS reports live totals).
+    let accepted =
+        store.ingest_batch(claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())));
+    let mut out = Vec::new();
+    codec::put_u64(&mut out, usize_to_u64(accepted));
+    Ok(out)
+}
+
+/// STATS: per-shard counters, all widened to `u64` on the wire.
+fn handle_stats(store: &ShardedStore) -> Vec<u8> {
+    let mut out = Vec::new();
+    let stats = store.shard_stats();
+    // Shard counts are configuration-sized (far below 2^32); saturating
+    // here keeps the encoder total without a panic path.
+    codec::put_u32(&mut out, u32::try_from(stats.len()).unwrap_or(u32::MAX));
+    for s in stats {
+        codec::put_u64(&mut out, s.epoch);
+        codec::put_u64(&mut out, usize_to_u64(s.live_claims));
+        codec::put_u64(&mut out, usize_to_u64(s.num_sources));
+        codec::put_u64(&mut out, usize_to_u64(s.num_items));
+        codec::put_u64(&mut out, usize_to_u64(s.num_values));
+        codec::put_u64(&mut out, usize_to_u64(s.sealed_segments));
+        codec::put_u64(&mut out, usize_to_u64(s.growing_claims));
+        codec::put_u8(&mut out, u8::from(s.durable));
+    }
+    out
+}
+
+/// DETECT: run a sharded round and encode the copying pairs by name.
+fn handle_detect(store: &ShardedStore) -> Result<Vec<u8>, ProtocolError> {
+    const REQUEST: &str = "DETECT";
+    let result = ShardedDetector::new().detect_round(store);
+    // Pair ids live in the global registry's id space; the read-locked name
+    // list resolves them in O(sources) without stalling concurrent ingest
+    // batches.
+    let names = store.global_source_names();
+    let mut out = Vec::new();
+    codec::put_u64(&mut out, usize_to_u64(result.pairs_considered));
+    let mut copying: Vec<_> =
+        result.outcomes.iter().filter(|(_, o)| o.decision.is_copying()).collect();
+    copying.sort_by_key(|(pair, _)| **pair);
+    let declared = u32::try_from(copying.len()).map_err(|_| ProtocolError::ResponseTooLarge {
+        request: REQUEST,
+        len: copying.len(),
+        limit: u32_to_usize(u32::MAX),
+        entries: copying.len(),
+    })?;
+    codec::put_u32(&mut out, declared);
+    for (pair, outcome) in &copying {
+        // Detection ran over a registry snapshot at least as old as `names`
+        // — a miss is an internal inconsistency, reported, never indexed.
+        let resolve = |index: usize| {
+            names.get(index).map(String::as_str).ok_or(ProtocolError::UnknownSource { index })
+        };
+        let encode = |out: &mut Vec<u8>, s: &str| {
+            codec::put_str(out, s)
+                .map_err(|source| ProtocolError::Encode { request: REQUEST, source })
+        };
+        encode(&mut out, resolve(pair.first().index())?)?;
+        encode(&mut out, resolve(pair.second().index())?)?;
+        codec::put_u64(&mut out, outcome.posterior.unwrap_or(0.0).to_bits());
+    }
+    // The response size is data-dependent (every copying pair carries two
+    // names): an over-limit payload must be a typed protocol error, not a
+    // killed handler thread.
+    if usize_to_u64(out.len()) > u64::from(codec::MAX_WIRE_FRAME_LEN) {
+        return Err(ProtocolError::ResponseTooLarge {
+            request: REQUEST,
+            len: out.len(),
+            limit: u32_to_usize(codec::MAX_WIRE_FRAME_LEN),
+            entries: copying.len(),
+        });
+    }
+    Ok(out)
 }
 
 /// The address a throwaway self-connection should dial to unblock the
@@ -351,16 +477,23 @@ fn write_error(stream: &mut TcpStream, message: &str) -> io::Result<()> {
     write_frame(stream, RESP_ERR, &out)
 }
 
-fn decode_ingest(payload: &[u8]) -> Result<Vec<(String, String, String)>, String> {
+fn decode_ingest(payload: &[u8]) -> Result<Vec<(String, String, String)>, ProtocolError> {
+    const REQUEST: &str = "INGEST";
+    let bad = |source| ProtocolError::BadPayload { request: REQUEST, source };
     let mut r = Reader::new(payload);
-    let n = r.u32().map_err(|e| e.to_string())? as usize;
+    let declared = r.u32().map_err(bad)?;
+    let n = u32_to_usize(declared);
     let mut claims = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
-        let mut field = || r.string().map_err(|e| e.to_string());
+        let mut field = || r.string().map_err(bad);
         claims.push((field()?, field()?, field()?));
     }
     if !r.is_empty() {
-        return Err(format!("{} trailing byte(s) after the declared {n} claim(s)", r.remaining()));
+        return Err(ProtocolError::TrailingBytes {
+            request: REQUEST,
+            trailing: r.remaining(),
+            declared,
+        });
     }
     Ok(claims)
 }
@@ -403,8 +536,14 @@ impl Client {
     /// accepted from this batch (use [`stats`](Self::stats) for fleet
     /// totals).
     pub fn ingest(&mut self, claims: &[(&str, &str, &str)]) -> io::Result<u64> {
+        let count = u32::try_from(claims.len()).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("a batch of {} claims exceeds the u32 wire count", claims.len()),
+            )
+        })?;
         let mut payload = Vec::new();
-        codec::put_u32(&mut payload, claims.len() as u32);
+        codec::put_u32(&mut payload, count);
         for (s, d, v) in claims {
             codec::put_str(&mut payload, s).map_err(invalid)?;
             codec::put_str(&mut payload, d).map_err(invalid)?;
@@ -419,16 +558,16 @@ impl Client {
         let resp = self.request(REQ_STATS, &[])?;
         let mut r = Reader::new(&resp);
         let decode = |r: &mut Reader<'_>| -> Result<Vec<WireShardStats>, CodecError> {
-            let n = r.u32()? as usize;
+            let n = u32_to_usize(r.u32()?);
             let mut shards = Vec::with_capacity(n.min(1 << 12));
             for _ in 0..n {
                 shards.push(WireShardStats {
                     epoch: r.u64()?,
                     live_claims: r.u64()?,
-                    num_sources: r.u32()?,
-                    num_items: r.u32()?,
-                    num_values: r.u32()?,
-                    sealed_segments: r.u32()?,
+                    num_sources: r.u64()?,
+                    num_items: r.u64()?,
+                    num_values: r.u64()?,
+                    sealed_segments: r.u64()?,
                     growing_claims: r.u64()?,
                     durable: r.u8()? != 0,
                 });
@@ -445,7 +584,7 @@ impl Client {
         let mut r = Reader::new(&resp);
         let decode = |r: &mut Reader<'_>| -> Result<WireDetection, CodecError> {
             let pairs_considered = r.u64()?;
-            let n = r.u32()? as usize;
+            let n = u32_to_usize(r.u32()?);
             let mut copying = Vec::with_capacity(n.min(1 << 16));
             for _ in 0..n {
                 copying.push(WireCopyingPair {

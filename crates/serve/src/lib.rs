@@ -49,9 +49,11 @@
 //! argument and the wire-protocol frame layout.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod detector;
+#[warn(clippy::cast_possible_truncation, clippy::indexing_slicing)]
 pub mod frontend;
 mod shard;
 

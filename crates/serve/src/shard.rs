@@ -2,10 +2,13 @@
 //! global name registry, plus the [`Router`] that batches claims per shard.
 
 use copydet_index::SharedItemCounts;
+use copydet_model::sync::RankedRwLock;
 use copydet_model::{ItemId, NameTable, SourceId, SourcePair};
-use copydet_store::{SharedClaimStore, StoreConfig, StoreIoError, StoreSnapshot, StoreStats};
+use copydet_store::{
+    read_bounded_text, SharedClaimStore, StoreConfig, StoreIoError, StoreSnapshot, StoreStats,
+};
 use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// FNV-1a 64-bit hash — the partitioning hash of the sharded store.
 ///
@@ -28,6 +31,24 @@ pub fn partition_of(item: &str, num_shards: usize) -> usize {
 
 /// Name of the shard-count file inside a durable sharded-store root.
 const SHARDS_FILE: &str = "SHARDS";
+
+/// Byte bound on the `SHARDS` pin file: it holds one decimal count, so
+/// anything larger is corruption — rejected before it is read, not parsed.
+const MAX_SHARDS_FILE_LEN: u64 = 64;
+
+/// Rank of the global name-registry lock — the **lowest** in the process
+/// (see `DESIGN.md` §8): it is acquired before any shard mutex and released
+/// before shard work begins.
+const GLOBAL_REGISTRY_RANK: u32 = 10;
+
+// lock-rank: 10 (serve.shard.global_registry)
+fn new_global_registry() -> Arc<RankedRwLock<GlobalTables>> {
+    Arc::new(RankedRwLock::new(
+        GLOBAL_REGISTRY_RANK,
+        "serve.shard.global_registry",
+        GlobalTables::default(),
+    ))
+}
 
 /// The global name registry: every source, item and value name seen by the
 /// router, interned in arrival order.
@@ -84,7 +105,8 @@ pub struct ShardedStore {
     /// Read-mostly: batches whose names are all already registered (the
     /// steady state of a serving workload) take only the shared read lock,
     /// so concurrent writers contend on their shard mutexes, not here.
-    global: Arc<RwLock<GlobalTables>>,
+    // lock-rank: 10 (serve.shard.global_registry)
+    global: Arc<RankedRwLock<GlobalTables>>,
 }
 
 impl ShardedStore {
@@ -103,7 +125,7 @@ impl ShardedStore {
     pub fn with_config(num_shards: usize, config: StoreConfig) -> Self {
         assert!(num_shards > 0, "a sharded store needs at least one shard");
         let shards = (0..num_shards).map(|_| SharedClaimStore::with_config(config)).collect();
-        Self { shards: Arc::new(shards), global: Arc::new(RwLock::new(GlobalTables::default())) }
+        Self { shards: Arc::new(shards), global: new_global_registry() }
     }
 
     /// Opens (creating or recovering) a **durable** sharded store under
@@ -144,10 +166,7 @@ impl ShardedStore {
                 config,
             )?);
         }
-        let store = Self {
-            shards: Arc::new(shards),
-            global: Arc::new(RwLock::new(GlobalTables::default())),
-        };
+        let store = Self { shards: Arc::new(shards), global: new_global_registry() };
         store.rebuild_global_registry();
         Ok(store)
     }
@@ -161,6 +180,10 @@ impl ShardedStore {
     /// pin already exists — two processes racing to create the same fresh
     /// root cannot overwrite each other's count; the loser re-reads and
     /// validates like any reopen).
+    ///
+    /// The pin is read through [`read_bounded_text`]: an oversized or
+    /// non-UTF-8 `SHARDS` file is reported as [`StoreIoError::Corrupt`]
+    /// instead of being slurped or panicking a conversion.
     fn pin_shard_count(root: &Path, num_shards: usize) -> Result<(), StoreIoError> {
         let shards_path = root.join(SHARDS_FILE);
         let validate = |contents: String| -> Result<(), StoreIoError> {
@@ -179,10 +202,8 @@ impl ShardedStore {
             }
             Ok(())
         };
-        match std::fs::read_to_string(&shards_path) {
-            Ok(contents) => return validate(contents),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(StoreIoError::io(&shards_path, &e)),
+        if let Some(contents) = read_bounded_text(&shards_path, MAX_SHARDS_FILE_LEN)? {
+            return validate(contents);
         }
         let tmp = root.join(format!("{SHARDS_FILE}.{}.tmp", std::process::id()));
         let io_err = |e: &std::io::Error| StoreIoError::io(&tmp, e);
@@ -207,8 +228,13 @@ impl ShardedStore {
             }
             Ok(())
         } else {
-            let contents = std::fs::read_to_string(&shards_path)
-                .map_err(|e| StoreIoError::io(&shards_path, &e))?;
+            let contents =
+                read_bounded_text(&shards_path, MAX_SHARDS_FILE_LEN)?.ok_or_else(|| {
+                    StoreIoError::Corrupt {
+                        path: shards_path.clone(),
+                        detail: "pin vanished after a lost creation race".to_owned(),
+                    }
+                })?;
             validate(contents)
         }
     }
@@ -216,7 +242,7 @@ impl ShardedStore {
     /// Re-interns every recovered shard's names into the global registry,
     /// shard-major. Used at open; a no-op for fresh directories.
     fn rebuild_global_registry(&self) {
-        let mut global = self.global.write().expect("global registry lock poisoned");
+        let mut global = self.global.write();
         for shard in self.shards.iter() {
             let snapshot = shard.snapshot();
             let ds = &snapshot.dataset;
@@ -249,19 +275,19 @@ impl ShardedStore {
 
     /// Distinct source names seen across all shards.
     pub fn num_sources(&self) -> usize {
-        self.global.read().expect("global registry lock poisoned").sources.len()
+        self.global.read().sources.len()
     }
 
     /// Source names in global id order (index `i` names global source `i`).
     /// A clone taken under the registry's shared read lock — the resolution
     /// path for detection results, whose pair ids live in the global space.
     pub fn global_source_names(&self) -> Vec<String> {
-        self.global.read().expect("global registry lock poisoned").sources.names().to_vec()
+        self.global.read().sources.names().to_vec()
     }
 
     /// Distinct item names seen across all shards.
     pub fn num_items(&self) -> usize {
-        self.global.read().expect("global registry lock poisoned").items.len()
+        self.global.read().items.len()
     }
 
     /// Ingests one claim, routing it by item partition.
@@ -287,7 +313,7 @@ impl ShardedStore {
         // state — vocabularies grow sublinearly in traffic) verifies that
         // under the shared read lock and skips the exclusive one entirely.
         let all_known = {
-            let global = self.global.read().expect("global registry lock poisoned");
+            let global = self.global.read();
             claims.iter().all(|&(s, d, v)| {
                 global.sources.get(s).is_some()
                     && global.items.get(d).is_some()
@@ -295,7 +321,7 @@ impl ShardedStore {
             })
         };
         if !all_known {
-            let mut global = self.global.write().expect("global registry lock poisoned");
+            let mut global = self.global.write();
             for &(s, d, v) in &claims {
                 global.sources.intern(s);
                 global.items.intern(d);
@@ -350,7 +376,7 @@ impl ShardedStore {
     pub fn maps_for(&self, snapshot: &StoreSnapshot) -> ShardMaps {
         let ds = &snapshot.dataset;
         {
-            let global = self.global.read().expect("global registry lock poisoned");
+            let global = self.global.read();
             let sources: Option<Vec<SourceId>> = ds
                 .sources()
                 .map(|s| global.sources.get(ds.source_name(s)).map(SourceId::from_index))
@@ -365,7 +391,7 @@ impl ShardedStore {
                 return ShardMaps { ids: copydet_detect::ShardIdMap { sources, items }, values };
             }
         }
-        let mut global = self.global.write().expect("global registry lock poisoned");
+        let mut global = self.global.write();
         ShardMaps {
             ids: copydet_detect::ShardIdMap {
                 sources: ds

@@ -99,3 +99,33 @@ fn one_shard_directory_recovers_alone() {
         .expect("a shard dir is a self-contained store");
     assert!(shard0.num_claims() > 0, "the hash spreads 12 items over 2 shards");
 }
+
+#[test]
+fn oversized_or_binary_shards_pin_is_a_typed_error() {
+    let scratch = Scratch::new("badpin");
+    drop(ShardedStore::open(&scratch.0, 2).expect("create with 2"));
+
+    // A pin grown past its 64-byte control-file bound is rejected before
+    // it is slurped or parsed.
+    std::fs::write(scratch.0.join("SHARDS"), vec![b'9'; 4096]).expect("overwrite pin");
+    match ShardedStore::open(&scratch.0, 2) {
+        Err(StoreIoError::Corrupt { path, detail }) => {
+            assert!(path.ends_with("SHARDS"), "blames the pin: {}", path.display());
+            assert!(detail.contains("64-byte bound"), "unexpected detail: {detail}");
+        }
+        other => panic!("expected Corrupt for an oversized pin, got {other:?}"),
+    }
+
+    // A non-UTF-8 pin is corruption too, not a panic in the parser.
+    std::fs::write(scratch.0.join("SHARDS"), [0xFF, 0xFE, 0xFD]).expect("overwrite pin");
+    match ShardedStore::open(&scratch.0, 2) {
+        Err(StoreIoError::Corrupt { detail, .. }) => {
+            assert!(detail.contains("not UTF-8"), "unexpected detail: {detail}");
+        }
+        other => panic!("expected Corrupt for a binary pin, got {other:?}"),
+    }
+
+    // Restoring a sane pin makes the fleet open again.
+    std::fs::write(scratch.0.join("SHARDS"), "2\n").expect("restore pin");
+    drop(ShardedStore::open(&scratch.0, 2).expect("reopen with a repaired pin"));
+}

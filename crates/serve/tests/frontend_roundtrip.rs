@@ -104,30 +104,64 @@ fn concurrent_clients_amortize_into_one_consistent_store() {
     server.shutdown();
 }
 
+/// Reads one checksummed frame straight off a raw socket (what the typed
+/// [`Client`] does internally), returning `(kind, payload)`.
+fn read_raw_frame(stream: &mut TcpStream) -> (u8, Vec<u8>) {
+    use copydet_model::codec;
+    use std::io::Read;
+    let mut header = [0u8; codec::WIRE_HEADER_LEN];
+    stream.read_exact(&mut header).expect("frame header");
+    let body_len = codec::wire_frame_body_len(&header).expect("sane header");
+    let mut body = vec![0u8; body_len];
+    stream.read_exact(&mut body).expect("frame body");
+    let (kind, payload) = codec::decode_wire_parts(&header, &body).expect("checksummed frame");
+    (kind, payload.to_vec())
+}
+
+fn error_message(payload: &[u8]) -> String {
+    copydet_model::codec::Reader::new(payload).string().expect("error response carries a string")
+}
+
 #[test]
 fn protocol_errors_are_reported_not_fatal() {
     let store = ShardedStore::new(2);
     let server = frontend::serve(store, "127.0.0.1:0").expect("bind loopback");
     let addr = server.addr();
 
-    // An unknown request kind gets an error response, and the connection
-    // keeps serving.
+    // An unknown request kind gets a typed error response naming the kind,
+    // and the connection keeps serving.
     let mut client = Client::connect(addr).expect("connect");
     {
-        // Reach into the raw stream: an unknown kind with an empty payload.
         let mut raw = TcpStream::connect(addr).expect("raw connect");
-        raw.write_all(&copydet_model::codec::encode_wire_frame(0x7F, &[])).unwrap();
-        // (response read through a throwaway client-less path is covered by
-        // the typed client below; this connection just exercises the
-        // server's error branch without hanging it.)
+        raw.write_all(&copydet_model::codec::encode_wire_frame(0x7F, &[]).expect("tiny frame"))
+            .unwrap();
+        let (kind, payload) = read_raw_frame(&mut raw);
+        assert_eq!(kind, frontend::RESP_ERR);
+        let message = error_message(&payload);
+        assert!(message.contains("unknown request kind"), "got: {message}");
+        assert!(message.contains("0x7f"), "names the offending kind: {message}");
     }
-    // A malformed INGEST payload (declared two claims, carries none).
+    // A malformed INGEST payload (declared two claims, carries none) comes
+    // back as a typed decode error — on a connection that then keeps
+    // serving well-formed requests.
     let mut bad = Vec::new();
     copydet_model::codec::put_u32(&mut bad, 2);
-    let raw_frame = copydet_model::codec::encode_wire_frame(frontend::REQ_INGEST, &bad);
+    let raw_frame =
+        copydet_model::codec::encode_wire_frame(frontend::REQ_INGEST, &bad).expect("tiny frame");
     let mut raw = TcpStream::connect(addr).expect("raw connect");
     raw.write_all(&raw_frame).unwrap();
-    // The same connection still works for a well-formed request afterwards.
+    let (kind, payload) = read_raw_frame(&mut raw);
+    assert_eq!(kind, frontend::RESP_ERR);
+    let message = error_message(&payload);
+    assert!(message.contains("INGEST"), "names the request: {message}");
+    // The same malformed-frame connection still serves a valid request.
+    raw.write_all(
+        &copydet_model::codec::encode_wire_frame(frontend::REQ_STATS, &[]).expect("tiny frame"),
+    )
+    .unwrap();
+    let (kind, _) = read_raw_frame(&mut raw);
+    assert_eq!(kind, frontend::RESP_OK, "connection survives the malformed frame");
+    // And so does every other connection.
     let stats = client.stats().expect("stats still served");
     assert_eq!(stats.len(), 2);
 

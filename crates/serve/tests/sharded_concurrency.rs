@@ -203,3 +203,69 @@ fn concurrent_rounds_are_self_consistent() {
     let stats = store.stats();
     assert_eq!(stats.live_claims, SOURCES_PER_WRITER * ITEMS);
 }
+
+/// All three ranked locks of `DESIGN.md` §8 under one stress run: the
+/// global registry (rank 10) and shard stores (rank 20) via concurrent
+/// batched ingest, maintenance and fan-out detection, plus the frontend
+/// connection registry (rank 30) via TCP clients hammering the same fleet.
+///
+/// In debug builds (which is how `cargo test` runs) every
+/// `RankedMutex`/`RankedRwLock` acquisition is checked against the
+/// thread's held-rank stack and panics on an ordering violation — so this
+/// test's assertion is largely that it *finishes*: any interleaving that
+/// acquires out of rank order aborts the run.
+#[test]
+fn lock_ranks_hold_under_stress() {
+    use copydet_serve::frontend::{self, Client};
+
+    let store = ShardedStore::new(SHARDS);
+    let server = frontend::serve(store.clone(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+
+    std::thread::scope(|scope| {
+        // TCP writers: registry + shard + connection locks from the
+        // frontend's connection threads.
+        for w in 0..2 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let stream = claim_stream(w);
+                for chunk in stream.chunks(BATCH) {
+                    let batch: Vec<(&str, &str, &str)> = chunk
+                        .iter()
+                        .map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str()))
+                        .collect();
+                    client.ingest(&batch).expect("ingest batch");
+                }
+                let _ = client.stats().expect("stats");
+            });
+        }
+        // Direct writers + maintenance + detection on the same fleet.
+        let direct = store.clone();
+        scope.spawn(move || {
+            for (s, d, v) in claim_stream(2) {
+                direct.ingest(&s, &d, &v);
+            }
+        });
+        let maintainer = store.clone();
+        scope.spawn(move || {
+            for _ in 0..200 {
+                maintainer.maintenance_tick(128, 3);
+                std::thread::yield_now();
+            }
+        });
+        let mut detector = ShardedDetector::new();
+        for _ in 0..4 {
+            let result = detector.detect_round(&store);
+            assert_eq!(result.algorithm, "SHARDED");
+        }
+    });
+
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    client.shutdown().expect("shutdown");
+    server.shutdown();
+
+    // Every lock taken during the run was released in rank order; this
+    // thread ends the test holding none.
+    assert_eq!(copydet_model::sync::max_held_rank(), None);
+    assert_eq!(store.num_claims(), 3 * SOURCES_PER_WRITER * ITEMS);
+}

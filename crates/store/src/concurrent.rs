@@ -35,9 +35,15 @@ use crate::error::StoreIoError;
 use crate::snapshot::StoreSnapshot;
 use crate::stats::StoreStats;
 use crate::store::{ClaimStore, StoreConfig};
+use copydet_model::sync::{RankedMutex, RankedMutexGuard};
 use copydet_model::Claim;
 use std::path::Path;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
+
+/// Lock rank of the per-store mutex; see `DESIGN.md` §8. Ranks above this
+/// one (the frontend connection registry) may be taken while it is held;
+/// the shard registry (rank 10) must already be released.
+const CLAIM_STORE_RANK: u32 = 20;
 
 /// A cloneable, thread-safe handle to a [`ClaimStore`].
 ///
@@ -45,9 +51,16 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// the duration of one store operation only; anything expensive a caller
 /// does with the *result* (detection over a snapshot, index construction)
 /// runs unlocked thanks to the snapshot's shared-immutable storage.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SharedClaimStore {
-    inner: Arc<Mutex<ClaimStore>>,
+    // lock-rank: 20 (store.claim_store.shard)
+    inner: Arc<RankedMutex<ClaimStore>>,
+}
+
+impl Default for SharedClaimStore {
+    fn default() -> Self {
+        Self::from_store(ClaimStore::default())
+    }
 }
 
 impl SharedClaimStore {
@@ -63,7 +76,10 @@ impl SharedClaimStore {
 
     /// Wraps an existing store (e.g. one pre-loaded single-threaded).
     pub fn from_store(store: ClaimStore) -> Self {
-        Self { inner: Arc::new(Mutex::new(store)) }
+        // lock-rank: 20 (store.claim_store.shard)
+        Self {
+            inner: Arc::new(RankedMutex::new(CLAIM_STORE_RANK, "store.claim_store.shard", store)),
+        }
     }
 
     /// Opens (creating or recovering) a **durable** shared store in `dir`
@@ -85,9 +101,11 @@ impl SharedClaimStore {
     /// (e.g. snapshot + `build_index` against the same epoch).
     ///
     /// # Panics
-    /// Panics if a previous holder panicked while holding the lock.
-    pub fn lock(&self) -> MutexGuard<'_, ClaimStore> {
-        self.inner.lock().expect("claim store mutex poisoned")
+    /// Panics if a previous holder panicked while holding the lock, or (in
+    /// debug builds) if the acquisition violates the lock-rank order of
+    /// `DESIGN.md` §8.
+    pub fn lock(&self) -> RankedMutexGuard<'_, ClaimStore> {
+        self.inner.lock()
     }
 
     /// Ingests one claim (see [`ClaimStore::ingest`]).

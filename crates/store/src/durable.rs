@@ -40,8 +40,10 @@
 
 use crate::error::StoreIoError;
 use crate::format::{self, Manifest, WalRecord};
+use crate::ioutil::read_bounded;
 use crate::segment::SealedSegment;
 use crate::wal::{DurableIo, SyncPoint, WalWriter, WAL_FILE};
+use copydet_model::codec::usize_to_u64;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -92,6 +94,11 @@ const MANIFEST_FILE: &str = "MANIFEST";
 /// Name of the advisory lock file inside a store directory.
 const LOCK_FILE: &str = "LOCK";
 
+/// Byte bound on the `MANIFEST` file: it lists a handful of segment/table
+/// file names, so a larger one is corruption — refused before it is read
+/// (see [`read_bounded`]), not slurped and then rejected by the decoder.
+const MAX_MANIFEST_LEN: u64 = 1 << 20;
+
 /// Returns `true` if `dir` holds durable store state (a manifest or a WAL).
 pub(crate) fn state_exists(dir: &Path) -> bool {
     dir.join(MANIFEST_FILE).exists() || dir.join(WAL_FILE).exists()
@@ -131,14 +138,15 @@ impl Persistence {
             message: format!("store directory is already open (advisory lock held): {e}"),
         })?;
 
-        // 1. The manifest names the committed state (absent → empty).
+        // 1. The manifest names the committed state (absent → empty). The
+        //    read is bounded: a multi-megabyte MANIFEST is corruption and is
+        //    refused as such, not allocated.
         let manifest_path = io.path_of(MANIFEST_FILE);
-        let manifest_present = manifest_path.exists();
-        let manifest = if manifest_present {
-            format::decode_manifest(&read_file(&manifest_path)?)
-                .map_err(|e| e.at(&manifest_path))?
-        } else {
-            Manifest::default()
+        let manifest_bytes = read_bounded(&manifest_path, MAX_MANIFEST_LEN)?;
+        let manifest_present = manifest_bytes.is_some();
+        let manifest = match &manifest_bytes {
+            Some(bytes) => format::decode_manifest(bytes).map_err(|e| e.at(&manifest_path))?,
+            None => Manifest::default(),
         };
 
         // 2. Name tables: the chain's files concatenate, oldest first, into
@@ -186,8 +194,8 @@ impl Persistence {
             let contents = format::read_wal(&read_file(&wal_path)?).map_err(|e| e.at(&wal_path))?;
             let writer = WalWriter::open_existing(
                 &mut io,
-                contents.valid_len as u64,
-                contents.records.len() as u64,
+                usize_to_u64(contents.valid_len),
+                usize_to_u64(contents.records.len()),
                 contents.torn,
                 fsync_each,
             )?;
@@ -332,7 +340,9 @@ impl Persistence {
                 None => {
                     let name = format!("seg-{:06}.seg", self.next_seq);
                     self.next_seq += 1;
-                    self.io.atomic_write(&name, "segment", &format::encode_segment(segment))?;
+                    let bytes = format::encode_segment(segment)
+                        .map_err(|e| e.at(self.io.path_of(&name)))?;
+                    self.io.atomic_write(&name, "segment", &bytes)?;
                     name
                 }
             };
@@ -352,8 +362,14 @@ impl Persistence {
             let name = format!("tables-{:06}.tbl", self.next_seq);
             self.next_seq += 1;
             let (s0, i0, v0) = if rewrite_full { (0, 0, 0) } else { self.persisted_table_lens };
-            let bytes = format::encode_tables(&sources[s0..], &items[i0..], &values[v0..])
-                .map_err(|e| e.at(self.io.path_of(&name)))?;
+            // Tables are append-only, so the committed lengths are always
+            // within the current tables; `get` keeps the slice total anyway.
+            let bytes = format::encode_tables(
+                sources.get(s0..).unwrap_or(&[]),
+                items.get(i0..).unwrap_or(&[]),
+                values.get(v0..).unwrap_or(&[]),
+            )
+            .map_err(|e| e.at(self.io.path_of(&name)))?;
             self.io.atomic_write(&name, "tables", &bytes)?;
             if rewrite_full {
                 self.tables_chain = vec![name];

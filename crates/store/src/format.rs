@@ -31,7 +31,7 @@
 //! stable interned-id serialization.
 
 use crate::segment::SealedSegment;
-use copydet_model::codec::{self, CodecError, Reader};
+use copydet_model::codec::{self, u32_to_usize, usize_to_u64, CodecError, Reader};
 use copydet_model::{Claim, ItemId, SourceId, ValueId};
 
 /// Version written into (and required of) every file header.
@@ -96,9 +96,18 @@ impl From<CodecError> for FormatError {
             CodecError::Truncated { .. } => FormatError::Truncated(e.to_string()),
             CodecError::Utf8 { .. }
             | CodecError::StringTooLong { .. }
+            | CodecError::FrameTooLong { .. }
             | CodecError::ChecksumMismatch { .. } => FormatError::Corrupt(e.to_string()),
         }
     }
+}
+
+/// Encodes a collection length as its `u32` wire form; a count past
+/// `u32::MAX` cannot be represented on disk and is refused, not truncated.
+fn len_u32(len: usize, what: &str) -> Result<u32, FormatError> {
+    u32::try_from(len).map_err(|_| {
+        FormatError::Corrupt(format!("{what} count {len} overflows the u32 length field"))
+    })
 }
 
 /// CRC32 (IEEE) of `bytes` — shared with the wire-protocol frames.
@@ -110,12 +119,16 @@ pub(crate) fn crc32(bytes: &[u8]) -> u32 {
 // File envelope
 // ---------------------------------------------------------------------------
 
+/// Byte length of a committed-file envelope header (magic + version +
+/// payload length).
+const FILE_HEADER_LEN: usize = 16;
+
 /// Wraps `payload` in the committed-file envelope.
 pub(crate) fn encode_file(magic: [u8; 4], payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 20);
     out.extend_from_slice(&magic);
     codec::put_u32(&mut out, FORMAT_VERSION);
-    codec::put_u64(&mut out, payload.len() as u64);
+    codec::put_u64(&mut out, usize_to_u64(payload.len()));
     out.extend_from_slice(payload);
     codec::put_u32(&mut out, crc32(payload));
     out
@@ -124,49 +137,49 @@ pub(crate) fn encode_file(magic: [u8; 4], payload: &[u8]) -> Vec<u8> {
 /// Unwraps a committed-file envelope, verifying magic, version, length and
 /// checksum, and returns the payload slice.
 pub(crate) fn decode_file(magic: [u8; 4], bytes: &[u8]) -> Result<&[u8], FormatError> {
-    if bytes.len() < 16 {
-        return Err(FormatError::Truncated(format!(
-            "file header needs 16 bytes, file has {}",
+    let too_short = || {
+        FormatError::Truncated(format!(
+            "file header needs {FILE_HEADER_LEN} bytes, file has {}",
             bytes.len()
-        )));
-    }
-    if bytes[..4] != magic {
+        ))
+    };
+    let (header, body) = bytes.split_at_checked(FILE_HEADER_LEN).ok_or_else(too_short)?;
+    let header: &[u8; FILE_HEADER_LEN] = header.try_into().map_err(|_| too_short())?;
+    let [m0, m1, m2, m3, v0, v1, v2, v3, len_bytes @ ..] = *header;
+    let found_magic = [m0, m1, m2, m3];
+    if found_magic != magic {
         return Err(FormatError::Corrupt(format!(
-            "bad magic {:02x?}, expected {:02x?} ({})",
-            &bytes[..4],
-            magic,
+            "bad magic {found_magic:02x?}, expected {magic:02x?} ({})",
             String::from_utf8_lossy(&magic)
         )));
     }
-    let mut r = Reader::new(&bytes[4..]);
-    let version = r.u32().expect("length checked above");
+    let version = u32::from_le_bytes([v0, v1, v2, v3]);
     if version != FORMAT_VERSION {
         return Err(FormatError::Version(version));
     }
-    let declared_len = r.u64().expect("length checked above");
-    let body = &bytes[16..];
+    let declared_len = u64::from_le_bytes(len_bytes);
     // Compare in u64: a corrupt length near u64::MAX must classify as
     // truncation, not overflow `declared_len + 4` into a panic / wrap.
-    if (body.len() as u64) < declared_len.saturating_add(4) {
+    if usize_to_u64(body.len()) < declared_len.saturating_add(4) {
         return Err(FormatError::Truncated(format!(
             "payload declares {declared_len} byte(s) + checksum, file holds {}",
             body.len()
         )));
     }
-    let payload_len = declared_len as usize;
-    if body.len() > payload_len + 4 {
-        return Err(FormatError::Corrupt(format!(
-            "{} trailing byte(s) after the checksum",
-            body.len() - payload_len - 4
-        )));
-    }
-    let payload = &body[..payload_len];
-    let stored = u32::from_le_bytes([
-        body[payload_len],
-        body[payload_len + 1],
-        body[payload_len + 2],
-        body[payload_len + 3],
-    ]);
+    // declared_len + 4 fits in body.len() (a usize), so this cannot fail;
+    // the error arm keeps the conversion total.
+    let payload_len = usize::try_from(declared_len)
+        .map_err(|_| FormatError::Corrupt(format!("payload length {declared_len} overflows")))?;
+    let (payload, tail) = body.split_at_checked(payload_len).ok_or_else(too_short)?;
+    let stored = match *tail {
+        [c0, c1, c2, c3] => u32::from_le_bytes([c0, c1, c2, c3]),
+        _ => {
+            return Err(FormatError::Corrupt(format!(
+                "{} trailing byte(s) after the checksum",
+                tail.len().saturating_sub(4)
+            )))
+        }
+    };
     let actual = crc32(payload);
     if stored != actual {
         return Err(FormatError::Corrupt(format!(
@@ -191,7 +204,7 @@ pub(crate) fn encode_tables(
 ) -> Result<Vec<u8>, FormatError> {
     let mut payload = Vec::new();
     for table in [sources, items, values] {
-        codec::put_u32(&mut payload, table.len() as u32);
+        codec::put_u32(&mut payload, len_u32(table.len(), "name table")?);
         for name in table {
             codec::put_str(&mut payload, name).map_err(FormatError::from)?;
         }
@@ -205,7 +218,7 @@ pub(crate) fn decode_tables(bytes: &[u8]) -> Result<NameTables, FormatError> {
     let mut r = Reader::new(payload);
     let mut tables: [Vec<String>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for table in &mut tables {
-        let count = r.u32()? as usize;
+        let count = u32_to_usize(r.u32()?);
         table.reserve(count.min(1 << 20));
         for _ in 0..count {
             table.push(r.string()?);
@@ -226,18 +239,18 @@ pub(crate) fn decode_tables(bytes: &[u8]) -> Result<NameTables, FormatError> {
 // ---------------------------------------------------------------------------
 
 /// Encodes a sealed segment: per-source sorted claim lists in source order.
-pub(crate) fn encode_segment(segment: &SealedSegment) -> Vec<u8> {
+pub(crate) fn encode_segment(segment: &SealedSegment) -> Result<Vec<u8>, FormatError> {
     let mut payload = Vec::new();
-    codec::put_u32(&mut payload, segment.num_sources() as u32);
+    codec::put_u32(&mut payload, len_u32(segment.num_sources(), "segment source")?);
     for (source, list) in segment.per_source() {
         codec::put_u32(&mut payload, source.raw());
-        codec::put_u32(&mut payload, list.len() as u32);
+        codec::put_u32(&mut payload, len_u32(list.len(), "segment claim-list")?);
         for &(item, value) in list {
             codec::put_u32(&mut payload, item.raw());
             codec::put_u32(&mut payload, value.raw());
         }
     }
-    encode_file(MAGIC_SEGMENT, &payload)
+    Ok(encode_file(MAGIC_SEGMENT, &payload))
 }
 
 /// Decodes a sealed-segment file, re-validating the segment invariants
@@ -245,7 +258,7 @@ pub(crate) fn encode_segment(segment: &SealedSegment) -> Vec<u8> {
 pub(crate) fn decode_segment(bytes: &[u8]) -> Result<SealedSegment, FormatError> {
     let payload = decode_file(MAGIC_SEGMENT, bytes)?;
     let mut r = Reader::new(payload);
-    let num_sources = r.u32()? as usize;
+    let num_sources = u32_to_usize(r.u32()?);
     let mut claims: Vec<(SourceId, Vec<(ItemId, ValueId)>)> = Vec::new();
     let mut num_claims = 0usize;
     for _ in 0..num_sources {
@@ -257,7 +270,7 @@ pub(crate) fn decode_segment(bytes: &[u8]) -> Result<SealedSegment, FormatError>
                 )));
             }
         }
-        let len = r.u32()? as usize;
+        let len = u32_to_usize(r.u32()?);
         if len == 0 {
             return Err(FormatError::Corrupt(format!("source {source} has an empty claim list")));
         }
@@ -310,11 +323,11 @@ pub(crate) struct Manifest {
 pub(crate) fn encode_manifest(manifest: &Manifest) -> Result<Vec<u8>, FormatError> {
     let mut payload = Vec::new();
     codec::put_u64(&mut payload, manifest.next_seq);
-    codec::put_u32(&mut payload, manifest.tables.len() as u32);
+    codec::put_u32(&mut payload, len_u32(manifest.tables.len(), "manifest tables")?);
     for name in &manifest.tables {
         codec::put_str(&mut payload, name).map_err(FormatError::from)?;
     }
-    codec::put_u32(&mut payload, manifest.segments.len() as u32);
+    codec::put_u32(&mut payload, len_u32(manifest.segments.len(), "manifest segment")?);
     for name in &manifest.segments {
         codec::put_str(&mut payload, name).map_err(FormatError::from)?;
     }
@@ -326,12 +339,12 @@ pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<Manifest, FormatError> {
     let payload = decode_file(MAGIC_MANIFEST, bytes)?;
     let mut r = Reader::new(payload);
     let next_seq = r.u64()?;
-    let tables_count = r.u32()? as usize;
+    let tables_count = u32_to_usize(r.u32()?);
     let mut tables = Vec::with_capacity(tables_count.min(1 << 16));
     for _ in 0..tables_count {
         tables.push(validate_file_name(r.string()?)?);
     }
-    let count = r.u32()? as usize;
+    let count = u32_to_usize(r.u32()?);
     let mut segments = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
         segments.push(validate_file_name(r.string()?)?);
@@ -483,13 +496,23 @@ pub(crate) fn decode_record(payload: &[u8]) -> Result<WalRecord, FormatError> {
 }
 
 /// Frames an encoded record payload: `[len][payload][crc32]`.
-pub(crate) fn encode_frame(payload: &[u8]) -> Vec<u8> {
-    debug_assert!(payload.len() as u32 <= MAX_FRAME_LEN);
+///
+/// A payload past [`MAX_FRAME_LEN`] cannot be framed (its length would not
+/// scan back) and is refused as a typed error, never an assert — WAL
+/// appends run on the ingest path.
+pub(crate) fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, FormatError> {
+    let len =
+        u32::try_from(payload.len()).ok().filter(|&len| len <= MAX_FRAME_LEN).ok_or_else(|| {
+            FormatError::Corrupt(format!(
+                "WAL frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit",
+                payload.len()
+            ))
+        })?;
     let mut out = Vec::with_capacity(payload.len() + 8);
-    codec::put_u32(&mut out, payload.len() as u32);
+    codec::put_u32(&mut out, len);
     out.extend_from_slice(payload);
     codec::put_u32(&mut out, crc32(payload));
-    out
+    Ok(out)
 }
 
 /// Result of scanning a WAL's bytes.
@@ -512,49 +535,57 @@ pub(crate) struct WalContents {
 /// whose checksum or record fails to decode is **corruption**; an
 /// *incomplete* trailing frame is a torn tail and is dropped silently.
 pub(crate) fn read_wal(bytes: &[u8]) -> Result<WalContents, FormatError> {
-    if bytes.len() < WAL_HEADER_LEN {
+    let header_parts = bytes.split_at_checked(WAL_HEADER_LEN).and_then(|(header, rest)| {
+        let header: &[u8; WAL_HEADER_LEN] = header.try_into().ok()?;
+        Some((*header, rest))
+    });
+    let Some(([m0, m1, m2, m3, v0, v1, v2, v3], mut rest)) = header_parts else {
         // A torn header write; nothing was ever durably logged.
         return Ok(WalContents { records: Vec::new(), valid_len: 0, torn: !bytes.is_empty() });
-    }
-    if bytes[..4] != MAGIC_WAL {
+    };
+    let found_magic = [m0, m1, m2, m3];
+    if found_magic != MAGIC_WAL {
         return Err(FormatError::Corrupt(format!(
-            "bad WAL magic {:02x?}, expected {:02x?}",
-            &bytes[..4],
-            MAGIC_WAL
+            "bad WAL magic {found_magic:02x?}, expected {MAGIC_WAL:02x?}"
         )));
     }
-    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let version = u32::from_le_bytes([v0, v1, v2, v3]);
     if version != FORMAT_VERSION {
         return Err(FormatError::Version(version));
     }
     let mut records = Vec::new();
     let mut pos = WAL_HEADER_LEN;
     loop {
-        let rest = &bytes[pos..];
         if rest.is_empty() {
             return Ok(WalContents { records, valid_len: pos, torn: false });
         }
-        if rest.len() < 4 {
-            return Ok(WalContents { records, valid_len: pos, torn: true });
-        }
-        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let torn = WalContents { records: Vec::new(), valid_len: pos, torn: true };
+        // Each frame is peeled off with checked splits; any piece that ends
+        // early is the torn-tail case, never an index panic.
+        let frame = rest.split_at_checked(4).and_then(|(len_bytes, after_len)| {
+            let len_bytes: [u8; 4] = len_bytes.try_into().ok()?;
+            Some((u32::from_le_bytes(len_bytes), after_len))
+        });
+        let Some((len, after_len)) = frame else {
+            return Ok(WalContents { records, ..torn });
+        };
         if len > MAX_FRAME_LEN {
             return Err(FormatError::Corrupt(format!(
                 "frame at byte {pos} declares {len} bytes (limit {MAX_FRAME_LEN})"
             )));
         }
-        let frame_end = 4 + len as usize + 4;
-        if rest.len() < frame_end {
+        let payload_len = u32_to_usize(len);
+        let Some((payload, after_payload)) = after_len.split_at_checked(payload_len) else {
             // The final append was cut short — the torn-tail case.
-            return Ok(WalContents { records, valid_len: pos, torn: true });
-        }
-        let payload = &rest[4..4 + len as usize];
-        let stored = u32::from_le_bytes([
-            rest[frame_end - 4],
-            rest[frame_end - 3],
-            rest[frame_end - 2],
-            rest[frame_end - 1],
-        ]);
+            return Ok(WalContents { records, ..torn });
+        };
+        let crc_parts = after_payload.split_at_checked(4).and_then(|(crc_bytes, next)| {
+            let crc_bytes: [u8; 4] = crc_bytes.try_into().ok()?;
+            Some((u32::from_le_bytes(crc_bytes), next))
+        });
+        let Some((stored, next)) = crc_parts else {
+            return Ok(WalContents { records, ..torn });
+        };
         let actual = crc32(payload);
         if stored != actual {
             return Err(FormatError::Corrupt(format!(
@@ -562,11 +593,13 @@ pub(crate) fn read_wal(bytes: &[u8]) -> Result<WalContents, FormatError> {
             )));
         }
         records.push(decode_record(payload)?);
-        pos += frame_end;
+        pos += 4 + payload_len + 4;
+        rest = next;
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::segment::GrowingSegment;
@@ -652,7 +685,7 @@ mod tests {
     #[test]
     fn segment_roundtrip_and_invariant_validation() {
         let seg = sample_segment();
-        let bytes = encode_segment(&seg);
+        let bytes = encode_segment(&seg).unwrap();
         let back = decode_segment(&bytes).unwrap();
         assert!(segments_equal(&seg, &back));
 
@@ -706,7 +739,7 @@ mod tests {
         ];
         let mut bytes = wal_header();
         for record in &records {
-            bytes.extend_from_slice(&encode_frame(&encode_record(record).unwrap()));
+            bytes.extend_from_slice(&encode_frame(&encode_record(record).unwrap()).unwrap());
         }
         let full = read_wal(&bytes).unwrap();
         assert_eq!(full.records, records);
@@ -714,7 +747,8 @@ mod tests {
         assert!(!full.torn);
 
         // Cutting anywhere inside the final frame drops exactly that frame.
-        let second_end = full.valid_len - encode_frame(&encode_record(&records[2]).unwrap()).len();
+        let second_end =
+            full.valid_len - encode_frame(&encode_record(&records[2]).unwrap()).unwrap().len();
         for cut in second_end + 1..bytes.len() {
             let torn = read_wal(&bytes[..cut]).unwrap();
             assert_eq!(torn.records, records[..2], "cut at {cut}");
@@ -790,7 +824,7 @@ mod tests {
             for record in &records {
                 let payload = encode_record(record).unwrap();
                 prop_assert_eq!(&decode_record(&payload).unwrap(), record);
-                bytes.extend_from_slice(&encode_frame(&payload));
+                bytes.extend_from_slice(&encode_frame(&payload).unwrap());
             }
             let scanned = read_wal(&bytes).unwrap();
             prop_assert_eq!(scanned.records, records);
@@ -817,7 +851,7 @@ mod tests {
                 g.insert(SourceId::new(s), ItemId::new(d), ValueId::new(v));
             }
             let seg = g.freeze();
-            let back = decode_segment(&encode_segment(&seg)).unwrap();
+            let back = decode_segment(&encode_segment(&seg).unwrap()).unwrap();
             prop_assert!(segments_equal(&seg, &back));
         }
 
@@ -840,7 +874,7 @@ mod tests {
         fn wal_prefix_survives_garbage_tail(tail in prop::collection::vec(any::<u8>(), 0..40)) {
             let record = WalRecord::DefSource { id: 0, name: "s".into() };
             let mut bytes = wal_header();
-            bytes.extend_from_slice(&encode_frame(&encode_record(&record).unwrap()));
+            bytes.extend_from_slice(&encode_frame(&encode_record(&record).unwrap()).unwrap());
             let valid = bytes.len();
             bytes.extend_from_slice(&tail);
             match read_wal(&bytes) {

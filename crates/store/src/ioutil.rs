@@ -1,0 +1,121 @@
+//! Bounded small-file reads for control files (`MANIFEST`, `SHARDS`, …).
+//!
+//! Control files are tiny by construction, so an oversized one is always
+//! corruption (or a mis-pointed path). These helpers refuse to slurp it:
+//! the size is checked *before* the allocation, and a concurrent append
+//! racing past the bound is caught by a one-extra-byte read. Everything
+//! surfaces as a typed [`StoreIoError`], never a panic — these run on the
+//! recovery path, where the input is whatever a crash (or an operator)
+//! left on disk.
+
+use crate::error::StoreIoError;
+use std::io::Read;
+use std::path::Path;
+
+/// Reads a file of at most `max_len` bytes; `Ok(None)` if it does not
+/// exist.
+///
+/// # Errors
+/// [`StoreIoError::Corrupt`] if the file exceeds `max_len` bytes (reported
+/// without reading past the bound); [`StoreIoError::Io`] for anything the
+/// filesystem refuses.
+pub fn read_bounded(path: &Path, max_len: u64) -> Result<Option<Vec<u8>>, StoreIoError> {
+    let file = match std::fs::File::open(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreIoError::io(path, &e)),
+    };
+    let too_big = |len: String| StoreIoError::Corrupt {
+        path: path.to_path_buf(),
+        detail: format!("{len} exceeds the {max_len}-byte bound for this control file"),
+    };
+    // The metadata check rejects an absurd file before any allocation; the
+    // +1 `take` below re-checks, catching growth between stat and read.
+    let metadata = file.metadata().map_err(|e| StoreIoError::io(path, &e))?;
+    if metadata.len() > max_len {
+        return Err(too_big(format!("{}-byte file", metadata.len())));
+    }
+    let mut contents = Vec::new();
+    let read = file
+        .take(max_len.saturating_add(1))
+        .read_to_end(&mut contents)
+        .map_err(|e| StoreIoError::io(path, &e))?;
+    if u64::try_from(read).unwrap_or(u64::MAX) > max_len {
+        return Err(too_big(format!("{read}-byte read")));
+    }
+    Ok(Some(contents))
+}
+
+/// Reads a UTF-8 text file of at most `max_len` bytes; `Ok(None)` if it
+/// does not exist.
+///
+/// # Errors
+/// As [`read_bounded`], plus [`StoreIoError::Corrupt`] for invalid UTF-8.
+pub fn read_bounded_text(path: &Path, max_len: u64) -> Result<Option<String>, StoreIoError> {
+    let Some(bytes) = read_bounded(path, max_len)? else { return Ok(None) };
+    match String::from_utf8(bytes) {
+        Ok(text) => Ok(Some(text)),
+        Err(e) => Err(StoreIoError::Corrupt {
+            path: path.to_path_buf(),
+            detail: format!(
+                "control file is not UTF-8 (first invalid byte at offset {})",
+                e.utf8_error().valid_up_to()
+            ),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("copydet-ioutil-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let dir = tmp_dir("missing");
+        assert_eq!(read_bounded(&dir.join("absent"), 16).unwrap(), None);
+        assert_eq!(read_bounded_text(&dir.join("absent"), 16).unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn small_files_round_trip() {
+        let dir = tmp_dir("small");
+        let path = dir.join("pin");
+        std::fs::write(&path, "4\n").unwrap();
+        assert_eq!(read_bounded(&path, 16).unwrap(), Some(b"4\n".to_vec()));
+        assert_eq!(read_bounded_text(&path, 16).unwrap(), Some("4\n".to_owned()));
+        // Exactly at the bound is allowed.
+        assert_eq!(read_bounded_text(&path, 2).unwrap(), Some("4\n".to_owned()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_file_is_corrupt_not_slurped() {
+        let dir = tmp_dir("oversized");
+        let path = dir.join("pin");
+        std::fs::write(&path, vec![b'9'; 100]).unwrap();
+        let err = read_bounded(&path, 64).unwrap_err();
+        assert!(matches!(err, StoreIoError::Corrupt { .. }), "got {err}");
+        assert!(err.to_string().contains("64-byte bound"), "got {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_utf8_text_is_corrupt() {
+        let dir = tmp_dir("nonutf8");
+        let path = dir.join("pin");
+        std::fs::write(&path, [b'4', 0xFF, 0xFE]).unwrap();
+        let err = read_bounded_text(&path, 64).unwrap_err();
+        assert!(err.to_string().contains("not UTF-8"), "got {err}");
+        // The binary reader is happy with the same bytes.
+        assert_eq!(read_bounded(&path, 64).unwrap(), Some(vec![b'4', 0xFF, 0xFE]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

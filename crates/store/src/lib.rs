@@ -74,22 +74,28 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod concurrent;
 mod delta;
+#[warn(clippy::cast_possible_truncation, clippy::indexing_slicing)]
 mod durable;
 mod error;
+#[warn(clippy::cast_possible_truncation, clippy::indexing_slicing)]
 mod format;
+mod ioutil;
 mod live;
 mod segment;
 mod snapshot;
 mod stats;
 mod store;
+#[warn(clippy::cast_possible_truncation, clippy::indexing_slicing)]
 mod wal;
 
 pub use concurrent::SharedClaimStore;
 pub use error::StoreIoError;
+pub use ioutil::{read_bounded, read_bounded_text};
 pub use live::{LiveConfig, LiveDetector};
 pub use segment::{GrowingSegment, SealedSegment};
 pub use snapshot::StoreSnapshot;

@@ -20,6 +20,7 @@
 
 use crate::error::StoreIoError;
 use crate::format::{self, WalRecord};
+use copydet_model::codec::usize_to_u64;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -137,7 +138,9 @@ impl DurableIo {
             Gate::Cut(n) => n,
             Gate::Skip => return Ok(()),
         };
-        file.write_all(&bytes[..take]).map_err(|e| StoreIoError::io(path, &e))
+        // `take` never exceeds `bytes.len()` (the gate cuts, it does not
+        // extend); `get` keeps the slice total regardless.
+        file.write_all(bytes.get(..take).unwrap_or(bytes)).map_err(|e| StoreIoError::io(path, &e))
     }
 
     /// Fsyncs an open file (gated).
@@ -210,7 +213,8 @@ impl DurableIo {
             Gate::Skip => return Ok(()),
         };
         let mut file = File::create(&tmp).map_err(|e| StoreIoError::io(&tmp, &e))?;
-        file.write_all(&bytes[..take]).map_err(|e| StoreIoError::io(&tmp, &e))?;
+        file.write_all(bytes.get(..take).unwrap_or(bytes))
+            .map_err(|e| StoreIoError::io(&tmp, &e))?;
         self.fsync(&file, &tmp, &format!("{tag}:fsync"))?;
         drop(file);
         match self.gate(&format!("{tag}:rename"), 0) {
@@ -249,7 +253,7 @@ impl WalWriter {
             file: None,
             path: io.path_of(WAL_FILE),
             frames: 0,
-            bytes: format::WAL_HEADER_LEN as u64,
+            bytes: usize_to_u64(format::WAL_HEADER_LEN),
             unsynced: 0,
             fsync_each,
         };
@@ -295,7 +299,7 @@ impl WalWriter {
     /// applying the record in memory).
     pub fn append(&mut self, io: &mut DurableIo, record: &WalRecord) -> Result<(), StoreIoError> {
         let payload = format::encode_record(record).map_err(|e| e.at(&self.path))?;
-        let frame = format::encode_frame(&payload);
+        let frame = format::encode_frame(&payload).map_err(|e| e.at(&self.path))?;
         let Some(file) = self.file.as_mut() else {
             // Detached writer: a sync point "killed" the store mid-reset;
             // every later event is skipped, like all dead-mode I/O.
@@ -303,7 +307,7 @@ impl WalWriter {
         };
         io.append(file, &self.path, "wal:frame", &frame)?;
         self.frames += 1;
-        self.bytes += frame.len() as u64;
+        self.bytes += usize_to_u64(frame.len());
         self.unsynced += 1;
         if self.fsync_each {
             self.sync(io)?;
@@ -328,7 +332,7 @@ impl WalWriter {
         self.file = None;
         io.atomic_write(WAL_FILE, "wal:reset", &format::wal_header())?;
         self.frames = 0;
-        self.bytes = format::WAL_HEADER_LEN as u64;
+        self.bytes = usize_to_u64(format::WAL_HEADER_LEN);
         self.unsynced = 0;
         if io.is_dead() {
             // The process "died" at this boundary; leave the writer detached
@@ -345,6 +349,7 @@ impl WalWriter {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing, clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::format::read_wal;

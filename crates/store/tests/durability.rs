@@ -606,3 +606,18 @@ fn batch_dataset(claims: &[(u8, u8, u8, u8)]) -> Dataset {
     }
     b.build()
 }
+
+#[test]
+fn oversized_manifest_is_a_typed_error_not_a_slurp() {
+    let scratch = populated_store("bigmanifest");
+    // Grow MANIFEST past its 1 MiB control-file bound: open must refuse it
+    // up front (without reading the whole thing) as typed corruption.
+    std::fs::write(scratch.path().join("MANIFEST"), vec![0u8; (1 << 20) + 1]).unwrap();
+    match ClaimStore::open(scratch.path()) {
+        Err(StoreIoError::Corrupt { path, detail }) => {
+            assert_eq!(path, scratch.path().join("MANIFEST"));
+            assert!(detail.contains("-byte bound"), "unexpected detail: {detail}");
+        }
+        other => panic!("expected Corrupt for an oversized manifest, got {other:?}"),
+    }
+}

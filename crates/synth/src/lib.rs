@@ -21,6 +21,7 @@
 //! (Table V / Section VI-A) at configurable scale factors.
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 mod config;

@@ -60,6 +60,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 #![warn(missing_docs)]
 
 pub use copydet_bayes as bayes;
