@@ -4,20 +4,24 @@
 //! lints that `rustc` and `clippy` cannot express, enforced over a
 //! hand-rolled token scan (no `syn`, no network, no dependencies):
 //!
-//! * **no-panic** — the recovery- and wire-facing modules
-//!   (`serve::frontend`, `store::{wal, durable, format}`, `model::codec`)
-//!   must not call `.unwrap()` / `.expect(..)`, invoke `panic!`-family
-//!   macros, or index/slice with `[..]` outside `#[cfg(test)]` code. These
-//!   modules parse whatever a crash or a remote peer left behind; every
-//!   failure must surface as a typed error.
-//! * **lossy-cast** — the codec/format/wire modules must not use bare `as`
-//!   integer casts; widths change via `try_from` (or the checked helpers in
-//!   `copydet_model::codec`), so truncation is a typed error, not silence.
+//! * **no-panic** — the recovery-, wire- and hot-path-facing modules
+//!   (`serve::frontend`, `store::{wal, durable, format}`, `model::codec`,
+//!   `obs::{metrics, trace}`) must not call `.unwrap()` / `.expect(..)`,
+//!   invoke `panic!`-family macros, or index/slice with `[..]` outside
+//!   `#[cfg(test)]` code. These modules parse whatever a crash or a remote
+//!   peer left behind — or run inside every instrumented ingest/detect
+//!   operation; every failure must surface as a typed error (or, for
+//!   instrumentation, degrade silently).
+//! * **lossy-cast** — the codec/format/wire/observability modules must not
+//!   use bare `as` integer casts; widths change via `try_from` (or the
+//!   checked helpers in `copydet_model::codec`), so truncation is a typed
+//!   error, not silence.
 //! * **lock-rank** — every `Mutex`/`RwLock`/`RankedMutex`/`RankedRwLock`
-//!   declaration in `crates/serve/src` and `crates/store/src` carries a
-//!   `// lock-rank: N (name)` annotation, the registry is internally
-//!   consistent (one rank per name), and the generated table in
-//!   `DESIGN.md` §8 matches the code (regenerate with `--emit-ranks`).
+//!   declaration in `crates/serve/src`, `crates/store/src` and
+//!   `crates/obs/src` carries a `// lock-rank: N (name)` annotation, the
+//!   registry is internally consistent (one rank per name), and the
+//!   generated table in `DESIGN.md` §8 matches the code (regenerate with
+//!   `--emit-ranks`).
 //! * **lint-header** — every workspace crate's `lib.rs` opts into the
 //!   agreed header: `#![forbid(unsafe_code)]`, `#![deny(unused_must_use)]`,
 //!   `#![warn(missing_docs)]`.
@@ -351,21 +355,33 @@ const LINT_LOSSY_CAST: &str = "lossy-cast";
 const LINT_LOCK_RANK: &str = "lock-rank";
 const LINT_HEADER: &str = "lint-header";
 
-/// Modules that parse crash or network input and must stay panic-free.
+/// Modules that parse crash or network input — or run on every hot path
+/// (the observability layer instruments ingest/detect/serve, so a panic in
+/// it takes the instrumented operation down with it) — and must stay
+/// panic-free.
 const PANIC_SCOPE: &[&str] = &[
     "crates/serve/src/frontend.rs",
     "crates/store/src/wal.rs",
     "crates/store/src/durable.rs",
     "crates/store/src/format.rs",
     "crates/model/src/codec.rs",
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/trace.rs",
 ];
 
 /// Codec/format/wire modules where `as` integer casts hide truncation.
-const CAST_SCOPE: &[&str] =
-    &["crates/model/src/codec.rs", "crates/store/src/format.rs", "crates/serve/src/frontend.rs"];
+const CAST_SCOPE: &[&str] = &[
+    "crates/model/src/codec.rs",
+    "crates/store/src/format.rs",
+    "crates/serve/src/frontend.rs",
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/trace.rs",
+];
 
 fn in_lock_scope(path: &str) -> bool {
-    path.starts_with("crates/serve/src/") || path.starts_with("crates/store/src/")
+    path.starts_with("crates/serve/src/")
+        || path.starts_with("crates/store/src/")
+        || path.starts_with("crates/obs/src/")
 }
 
 const INT_TYPES: &[&str] =
@@ -485,8 +501,7 @@ fn audit_source(
                 _ => false,
             };
             if is_decl && !lexed.in_test_code(token.line) {
-                let annotation =
-                    lexed.comment_near(token.line, 3).find_map(parse_rank_annotation);
+                let annotation = lexed.comment_near(token.line, 3).find_map(parse_rank_annotation);
                 match annotation {
                     Some((rank, name)) => {
                         registry.push(RankSite { rank, name, path: rel.to_owned() });

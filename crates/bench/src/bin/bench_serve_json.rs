@@ -12,12 +12,16 @@
 //!   the per-shard mutexes additionally let the writers proceed in
 //!   parallel (`host_parallelism` records what this machine offered),
 //! * fan-out detection-round latency ([`ShardedDetector::detect_round`]),
-//! * the round decomposed: per-shard evidence scan vs cross-shard merge.
+//! * the round decomposed: per-shard evidence scan vs cross-shard merge,
+//!   with the merge further broken into its phases (evidence collect,
+//!   per-pair fold, vote) from [`copydet_detect::MergeTimings`].
 //!
 //! Run with: `cargo run --release -p copydet-bench --bin bench_serve_json`
 
 use copydet_bayes::SourceAccuracies;
-use copydet_detect::{collect_shard_evidence, merge_shard_rounds, ShardRoundEvidence};
+use copydet_detect::{
+    collect_shard_evidence, merge_shard_rounds_timed, MergeTimings, ShardRoundEvidence,
+};
 use copydet_serve::{LiveConfig, ShardedDetector, ShardedStore};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -139,10 +143,17 @@ fn main() {
         };
         let accuracies = SourceAccuracies::uniform(store.num_sources(), 0.8).unwrap();
         let params = copydet_bayes::CopyParams::paper_defaults();
+        // The timed merge decomposes the merge into its three phases
+        // (evidence collect, per-pair fold, vote); the median run's timings
+        // become the breakdown so the parts are consistent with each other
+        // (medians of independent runs need not sum to the median total).
+        let mut breakdown = MergeTimings::default();
         let merge_s = time_n(3, || {
-            let result = merge_shard_rounds(evidence.clone(), &accuracies, params);
+            let (result, timings) = merge_shard_rounds_timed(evidence.clone(), &accuracies, params);
             assert!(result.pairs_considered > 0);
+            breakdown = timings;
         });
+        let secs = |nanos: u64| nanos as f64 / 1e9;
 
         let mut e = String::new();
         let _ = write!(
@@ -155,7 +166,13 @@ fn main() {
                 "      \"ingest_claims_per_s\": {:.0},\n",
                 "      \"round_s\": {:.6},\n",
                 "      \"scan_sequential_s\": {:.6},\n",
-                "      \"merge_s\": {:.6}\n",
+                "      \"merge_s\": {:.6},\n",
+                "      \"merge_breakdown\": {{\n",
+                "        \"evidence_collect_s\": {:.6},\n",
+                "        \"pair_fold_s\": {:.6},\n",
+                "        \"vote_s\": {:.6},\n",
+                "        \"pairs\": {}\n",
+                "      }}\n",
                 "    }}"
             ),
             shards,
@@ -165,6 +182,10 @@ fn main() {
             round_s,
             scan_s,
             merge_s,
+            secs(breakdown.collect_nanos),
+            secs(breakdown.fold_nanos),
+            secs(breakdown.vote_nanos),
+            breakdown.pairs,
         );
         entries.push(e);
     }

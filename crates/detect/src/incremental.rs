@@ -49,10 +49,27 @@ use copydet_bayes::contribution::same_value_scores_both;
 use copydet_bayes::max_contribution::max_contribution;
 use copydet_bayes::{CopyDecision, SourceAccuracies, ValueProbabilities};
 use copydet_index::InvertedIndex;
+use copydet_model::codec::usize_to_u64;
 use copydet_model::SourcePair;
+use copydet_obs::{registry, Counter};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Pairs the incremental maintenance looked at, summed over all incremental
+/// rounds in the process (`pairs_total` of each round's stats).
+fn pairs_considered_total() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| registry().counter("copydet_incremental_pairs_considered_total"))
+}
+
+/// Pairs that needed an exact recomputation (passes 2/3 plus the accuracy-
+/// and delta-triggered recomputes), summed over all incremental rounds.
+fn pairs_recomputed_total() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| registry().counter("copydet_incremental_pairs_recomputed_total"))
+}
 
 /// Configuration of the incremental detector.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -470,6 +487,10 @@ impl IncrementalDetector {
         state.old_accuracies = input.accuracies.clone();
         state.old_probabilities = input.probabilities.clone();
 
+        pairs_considered_total().add(usize_to_u64(stats.pairs_total));
+        pairs_recomputed_total().add(usize_to_u64(
+            stats.pass2 + stats.pass3 + stats.accuracy_recomputed + stats.delta_recomputed,
+        ));
         self.stats.push(stats);
         result.detection_time = start.elapsed();
         result

@@ -50,6 +50,6 @@ pub use scan::{
 };
 pub use scan::{BoundDetector, HybridDetector, IndexDetector};
 pub use sharded::{
-    collect_shard_evidence, merge_shard_rounds, ShardIdMap, ShardRoundEvidence,
-    SharedItemObservation,
+    collect_shard_evidence, merge_shard_rounds, merge_shard_rounds_timed, MergeTimings, ShardIdMap,
+    ShardRoundEvidence, SharedItemObservation,
 };

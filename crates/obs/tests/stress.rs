@@ -1,0 +1,123 @@
+//! Concurrent-record stress over the metrics registry and the trace ring.
+//!
+//! The registry's record paths are relaxed atomics with no read-side
+//! coordination, so the properties worth stressing are *exactness under
+//! concurrency* — N threads hammering one counter/gauge/histogram while a
+//! reader renders and snapshots must lose no increment — and *boundedness*
+//! of the trace ring under concurrent pushes. CI runs this file in release
+//! mode (debug builds scale the op counts down).
+
+use copydet_obs::{registry, RoundTraceBuilder, TraceRing};
+use std::time::Instant;
+
+const THREADS: u64 = 8;
+
+fn ops() -> u64 {
+    if cfg!(debug_assertions) {
+        20_000
+    } else {
+        200_000
+    }
+}
+
+#[test]
+fn concurrent_recorders_lose_nothing() {
+    let ops = ops();
+    let counter = registry().counter("copydet_stress_counter_total");
+    let gauge = registry().gauge("copydet_stress_gauge");
+    let histogram = registry().histogram("copydet_stress_nanos");
+    // The registry is process-global: other tests in this binary may share
+    // it, so everything is asserted as a delta from here.
+    let base_count = counter.get();
+    let base_gauge = gauge.get();
+    let base_snapshot = histogram.snapshot();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = &counter;
+            let gauge = &gauge;
+            let histogram = &histogram;
+            scope.spawn(move || {
+                for i in 0..ops {
+                    counter.inc();
+                    gauge.add(1);
+                    gauge.add(-1);
+                    histogram.record(t.wrapping_mul(ops).wrapping_add(i) % 1_000_000);
+                }
+            });
+        }
+        // Concurrent readers: rendering and snapshotting must neither block
+        // the writers nor observe a count above what was recorded.
+        for _ in 0..20 {
+            let text = registry().render_text();
+            assert!(text.contains("copydet_stress_counter_total"), "got:\n{text}");
+            let snapshot = histogram.snapshot();
+            assert!(
+                snapshot.count <= base_snapshot.count + THREADS * ops,
+                "snapshot cannot run ahead of the writers"
+            );
+            let _ = snapshot.quantile(0.5);
+        }
+    });
+
+    assert_eq!(counter.get() - base_count, THREADS * ops, "no counter increment lost");
+    assert_eq!(gauge.get(), base_gauge, "balanced add/sub nets to zero");
+    let snapshot = histogram.snapshot();
+    assert_eq!(snapshot.count - base_snapshot.count, THREADS * ops, "no histogram record lost");
+    let expected_sum: u64 = (0..THREADS)
+        .flat_map(|t| (0..ops).map(move |i| t.wrapping_mul(ops).wrapping_add(i) % 1_000_000))
+        .fold(0u64, u64::wrapping_add);
+    assert_eq!(
+        snapshot.sum.wrapping_sub(base_snapshot.sum),
+        expected_sum,
+        "histogram sum accounts every recorded value"
+    );
+}
+
+#[test]
+fn concurrent_trace_pushes_stay_bounded_and_ordered() {
+    const CAPACITY: usize = 32;
+    let ring = TraceRing::with_capacity(CAPACITY);
+    let pushes = ops() / 100;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let ring = &ring;
+            scope.spawn(move || {
+                for i in 0..pushes {
+                    let mut builder = RoundTraceBuilder::new(&format!("stress-{t}-{i}"));
+                    builder.stage("work", i);
+                    let sequence = ring.push(builder.finish());
+                    assert!(sequence >= 1);
+                }
+            });
+        }
+    });
+    assert_eq!(ring.len(), CAPACITY, "ring stays at capacity under concurrent pushes");
+    let recent = ring.recent(0);
+    assert!(
+        recent.windows(2).all(|w| w[0].sequence > w[1].sequence),
+        "recent() is strictly newest-first"
+    );
+    let newest = recent.first().expect("ring is non-empty").sequence;
+    assert_eq!(newest, THREADS * pushes, "every push got a distinct sequence");
+}
+
+/// Reading the registry while nothing records must be cheap enough to poll:
+/// a render of the stress metrics stays well under a millisecond per call.
+/// (The *record*-side budget is asserted in `copydet-store`'s
+/// `obs_overhead` test, against real ingest.)
+#[test]
+fn render_is_poll_cheap() {
+    registry().counter("copydet_stress_render_probe_total").inc();
+    let start = Instant::now();
+    const RENDERS: u32 = 100;
+    for _ in 0..RENDERS {
+        let text = registry().render_text();
+        assert!(!text.is_empty());
+    }
+    let per_render = start.elapsed() / RENDERS;
+    assert!(
+        per_render < std::time::Duration::from_millis(10),
+        "render took {per_render:?} — exposition must stay poll-cheap"
+    );
+}

@@ -3,10 +3,25 @@
 
 use crate::shard::{ShardMaps, ShardedStore};
 use copydet_bayes::{SourceAccuracies, ValueProbabilities};
-use copydet_detect::{collect_shard_evidence, merge_shard_rounds, DetectionResult};
+use copydet_detect::{collect_shard_evidence, merge_shard_rounds_timed, DetectionResult};
 use copydet_fusion::{vote_group_probabilities, VoteConfig};
+use copydet_model::codec::usize_to_u64;
 use copydet_model::{Dataset, ItemValueGroup};
+use copydet_obs::{registry, trace_ring, Counter, Histogram, RoundTraceBuilder, Span};
 use copydet_store::LiveConfig;
+use std::sync::{Arc, OnceLock};
+
+/// Sharded detection rounds completed in this process.
+fn rounds_total() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| registry().counter("copydet_serve_rounds_total"))
+}
+
+/// Wall time of whole sharded detection rounds.
+fn round_nanos() -> &'static Arc<Histogram> {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| registry().histogram("copydet_serve_round_nanos"))
+}
 
 /// Runs copy detection over an item-partitioned store: one evidence scan per
 /// shard, fanned out across threads, then an exact merge.
@@ -68,14 +83,18 @@ impl ShardedDetector {
     /// captured per shard (each under its own lock); the scans and the
     /// merge run entirely unlocked.
     pub fn detect_round(&mut self, store: &ShardedStore) -> DetectionResult {
-        let captures = store.capture_shards();
-        self.detect_captured(store, &captures)
+        let trace = RoundTraceBuilder::new("sharded_round");
+        let capture_span = Span::start();
+        let (captures, capture_nanos) = store.capture_shards_traced();
+        let capture_total = capture_span.elapsed_nanos();
+        self.detect_traced(store, &captures, trace, Some((capture_total, &capture_nanos)))
     }
 
     /// One detection round over an explicit capture (from
     /// [`ShardedStore::capture_shards`]). Exposed so equivalence and stress
     /// tests can run the round and an independent baseline over the *same*
-    /// frozen state while writers keep mutating the store.
+    /// frozen state while writers keep mutating the store. The round's trace
+    /// has no `capture` stages (the capture happened outside this call).
     pub fn detect_captured(
         &mut self,
         store: &ShardedStore,
@@ -84,6 +103,31 @@ impl ShardedDetector {
             std::sync::Arc<copydet_index::SharedItemCounts>,
         )],
     ) -> DetectionResult {
+        let trace = RoundTraceBuilder::new("sharded_round");
+        self.detect_traced(store, captures, trace, None)
+    }
+
+    /// The round body shared by [`detect_round`](Self::detect_round) and
+    /// [`detect_captured`](Self::detect_captured): prepare, fan-out, merge —
+    /// recording each stage into `trace`, which is pushed into the global
+    /// [`trace_ring`] before returning.
+    fn detect_traced(
+        &mut self,
+        store: &ShardedStore,
+        captures: &[(
+            copydet_store::StoreSnapshot,
+            std::sync::Arc<copydet_index::SharedItemCounts>,
+        )],
+        mut trace: RoundTraceBuilder,
+        capture: Option<(u64, &[u64])>,
+    ) -> DetectionResult {
+        if let Some((total, per_shard)) = capture {
+            trace.stage("capture", total);
+            for (i, nanos) in per_shard.iter().enumerate() {
+                trace.stage(&format!("shard{i}.capture"), *nanos);
+            }
+        }
+        let prepare_span = Span::start();
         let maps: Vec<ShardMaps> =
             captures.iter().map(|(snapshot, _)| store.maps_for(snapshot)).collect();
         // Sized after the maps are built, so every mapped id is covered.
@@ -93,7 +137,9 @@ impl ShardedDetector {
         let vote_config = VoteConfig::new(self.config.params);
         let initial_accuracy = self.config.initial_accuracy;
         let params = self.config.params;
-        let evidence = std::thread::scope(|scope| {
+        trace.stage("prepare", prepare_span.elapsed_nanos());
+        let fanout_span = Span::start();
+        let scans: Vec<(copydet_detect::ShardRoundEvidence, u64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = captures
                 .iter()
                 .zip(&maps)
@@ -104,6 +150,7 @@ impl ShardedDetector {
                         // assembled directly so the vote is computed once —
                         // in global value order (prepare's locally-ordered
                         // vote would just be discarded).
+                        let scan_span = Span::start();
                         let shard_accuracies = SourceAccuracies::uniform(
                             snapshot.dataset.num_sources(),
                             initial_accuracy,
@@ -122,7 +169,9 @@ impl ShardedDetector {
                             params,
                             delta: None,
                         };
-                        collect_shard_evidence(&input.as_round_input(), counts, &map.ids)
+                        let evidence =
+                            collect_shard_evidence(&input.as_round_input(), counts, &map.ids);
+                        (evidence, scan_span.elapsed_nanos())
                     })
                 })
                 .collect();
@@ -131,8 +180,23 @@ impl ShardedDetector {
                 .map(|handle| handle.join().expect("shard evidence scan panicked"))
                 .collect()
         });
+        trace.stage("fanout", fanout_span.elapsed_nanos());
+        let mut evidence = Vec::with_capacity(scans.len());
+        for (i, (shard_evidence, nanos)) in scans.into_iter().enumerate() {
+            let observations = usize_to_u64(shard_evidence.num_observations());
+            trace.stage_count(&format!("shard{i}.scan"), nanos, observations);
+            evidence.push(shard_evidence);
+        }
         self.rounds += 1;
-        merge_shard_rounds(evidence, &accuracies, self.config.params)
+        let (result, timings) = merge_shard_rounds_timed(evidence, &accuracies, self.config.params);
+        trace.stage("merge.collect", timings.collect_nanos);
+        trace.stage("merge.fold", timings.fold_nanos);
+        trace.stage_count("merge.vote", timings.vote_nanos, timings.pairs);
+        let finished = trace.finish();
+        rounds_total().inc();
+        round_nanos().record(finished.total_nanos);
+        trace_ring().push(finished);
+        result
     }
 }
 

@@ -13,6 +13,8 @@
 //! | `0x02` | STATS | empty |
 //! | `0x03` | DETECT | empty |
 //! | `0x04` | SHUTDOWN | empty |
+//! | `0x05` | METRICS | empty |
+//! | `0x06` | TRACE | `u32 n` (most recent traces wanted; `0` = all) |
 //!
 //! Responses are `0x80` (OK, payload per request kind) or `0x81` (error,
 //! `str` message). Strings are the codec's length-prefixed UTF-8, bounded
@@ -42,12 +44,14 @@ use crate::detector::ShardedDetector;
 use crate::shard::ShardedStore;
 use copydet_model::codec::{self, u32_to_usize, usize_to_u64, CodecError, Reader};
 use copydet_model::sync::RankedMutex;
+use copydet_obs::{registry, trace_ring, Counter, Gauge, Histogram, RoundTrace, Span, TraceStage};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Request kind: ingest a claim batch.
 pub const REQ_INGEST: u8 = 0x01;
@@ -57,10 +61,139 @@ pub const REQ_STATS: u8 = 0x02;
 pub const REQ_DETECT: u8 = 0x03;
 /// Request kind: stop the server.
 pub const REQ_SHUTDOWN: u8 = 0x04;
+/// Request kind: metrics-registry text exposition.
+pub const REQ_METRICS: u8 = 0x05;
+/// Request kind: recent round traces.
+pub const REQ_TRACE: u8 = 0x06;
 /// Response kind: success.
 pub const RESP_OK: u8 = 0x80;
 /// Response kind: failure (payload is the message).
 pub const RESP_ERR: u8 = 0x81;
+
+/// Verb names, indexed by [`verb_index`]; also the `verb` label of the
+/// `copydet_frontend_*` registry metrics.
+const VERBS: [&str; 6] = ["INGEST", "STATS", "DETECT", "SHUTDOWN", "METRICS", "TRACE"];
+
+/// Dense verb index of a request kind (`None` for unknown kinds).
+fn verb_index(kind: u8) -> Option<usize> {
+    match kind {
+        REQ_INGEST => Some(0),
+        REQ_STATS => Some(1),
+        REQ_DETECT => Some(2),
+        REQ_SHUTDOWN => Some(3),
+        REQ_METRICS => Some(4),
+        REQ_TRACE => Some(5),
+        _ => None,
+    }
+}
+
+/// Per-verb request counters in the process-global registry, indexed like
+/// [`VERBS`].
+fn request_counters() -> &'static [Arc<Counter>; 6] {
+    static COUNTERS: OnceLock<[Arc<Counter>; 6]> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        std::array::from_fn(|i| {
+            let verb = VERBS.get(i).copied().unwrap_or("UNKNOWN");
+            registry().counter(&format!("copydet_frontend_requests_total{{verb=\"{verb}\"}}"))
+        })
+    })
+}
+
+/// Per-verb request-latency histograms, indexed like [`VERBS`].
+fn request_nanos() -> &'static [Arc<Histogram>; 6] {
+    static HISTOGRAMS: OnceLock<[Arc<Histogram>; 6]> = OnceLock::new();
+    HISTOGRAMS.get_or_init(|| {
+        std::array::from_fn(|i| {
+            let verb = VERBS.get(i).copied().unwrap_or("UNKNOWN");
+            registry().histogram(&format!("copydet_frontend_request_nanos{{verb=\"{verb}\"}}"))
+        })
+    })
+}
+
+/// Connections currently being served, across every frontend in the
+/// process.
+fn connections_live() -> &'static Arc<Gauge> {
+    static GAUGE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    GAUGE.get_or_init(|| registry().gauge("copydet_frontend_connections_live"))
+}
+
+/// Connections ever accepted, across every frontend in the process.
+fn connections_total() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| registry().counter("copydet_frontend_connections_total"))
+}
+
+/// Records one served request into the global registry (count + latency).
+fn record_request(kind: u8, span: &Span) {
+    if let Some(i) = verb_index(kind) {
+        if let Some(counter) = request_counters().get(i) {
+            counter.inc();
+        }
+        if let Some(histogram) = request_nanos().get(i) {
+            histogram.record(span.elapsed_nanos());
+        }
+    }
+}
+
+/// RAII handle for the live-connection gauge: increments on open, and the
+/// `Drop` decrement covers every handler exit path (EOF, error, shutdown).
+struct LiveConnection;
+
+impl LiveConnection {
+    fn open() -> Self {
+        connections_total().inc();
+        connections_live().inc();
+        Self
+    }
+}
+
+impl Drop for LiveConnection {
+    fn drop(&mut self) {
+        connections_live().dec();
+    }
+}
+
+/// Per-server request accounting reported in the `STATS` trailer: uptime
+/// plus one count per verb.
+///
+/// The process-global registry carries the same numbers as
+/// `copydet_frontend_requests_total{verb=...}`, but summed over **every**
+/// frontend the process ever ran; this per-[`serve`] instance keeps one
+/// server's `STATS` honest when many servers share a process (as tests do).
+#[derive(Debug)]
+struct FrontendStats {
+    started: Instant,
+    verbs: [AtomicU64; 6],
+}
+
+impl FrontendStats {
+    fn new() -> Self {
+        Self { started: Instant::now(), verbs: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    /// Counts one request of `kind` (unknown kinds are not counted).
+    fn count(&self, kind: u8) {
+        if let Some(counter) = verb_index(kind).and_then(|i| self.verbs.get(i)) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn uptime_micros(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn counts(&self) -> WireRequestCounts {
+        let get = |i: usize| self.verbs.get(i).map_or(0, |c| c.load(Ordering::Relaxed));
+        WireRequestCounts {
+            ingest: get(0),
+            stats: get(1),
+            detect: get(2),
+            shutdown: get(3),
+            metrics: get(4),
+            trace: get(5),
+        }
+    }
+}
 
 /// A request the server refuses with a `0x81` response instead of serving.
 ///
@@ -209,6 +342,36 @@ pub struct WireShardStats {
     pub durable: bool,
 }
 
+/// Fleet-wide statistics as reported over the wire: per-shard counters plus
+/// the serving process's request accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFleetStats {
+    /// Per-shard counters, one entry per shard.
+    pub shards: Vec<WireShardStats>,
+    /// Microseconds since the server started.
+    pub uptime_micros: u64,
+    /// Requests served per verb since the server started (the `STATS`
+    /// request carrying this response included).
+    pub requests: WireRequestCounts,
+}
+
+/// Per-verb request counts since the server started.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireRequestCounts {
+    /// `INGEST` requests served.
+    pub ingest: u64,
+    /// `STATS` requests served.
+    pub stats: u64,
+    /// `DETECT` requests served.
+    pub detect: u64,
+    /// `SHUTDOWN` requests served.
+    pub shutdown: u64,
+    /// `METRICS` requests served.
+    pub metrics: u64,
+    /// `TRACE` requests served.
+    pub trace: u64,
+}
+
 /// One copying pair as reported over the wire (source names, since the
 /// client has no id space).
 #[derive(Debug, Clone, PartialEq)]
@@ -307,6 +470,7 @@ pub fn serve(store: ShardedStore, addr: impl ToSocketAddrs) -> io::Result<Server
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let connections = new_connections();
+    let frontend_stats = Arc::new(FrontendStats::new());
     let accept_stop = Arc::clone(&stop);
     let accept_connections = Arc::clone(&connections);
     let accept_thread = std::thread::spawn(move || {
@@ -316,12 +480,14 @@ pub fn serve(store: ShardedStore, addr: impl ToSocketAddrs) -> io::Result<Server
             }
             let Ok(stream) = connection else { continue };
             let store = store.clone();
+            let stats = Arc::clone(&frontend_stats);
             let stop = Arc::clone(&accept_stop);
             let server_addr = addr;
             let handler_connections = Arc::clone(&accept_connections);
             let Ok(interrupt) = stream.try_clone() else { continue };
             let handler = std::thread::spawn(move || {
-                let _ = handle_connection(stream, store, stop, server_addr, handler_connections);
+                let _ =
+                    handle_connection(stream, store, stats, stop, server_addr, handler_connections);
             });
             let mut registry = accept_connections.lock();
             // Reap finished handlers so a long-lived server's registry holds
@@ -337,18 +503,27 @@ pub fn serve(store: ShardedStore, addr: impl ToSocketAddrs) -> io::Result<Server
 fn handle_connection(
     mut stream: TcpStream,
     store: ShardedStore,
+    stats: Arc<FrontendStats>,
     stop: Arc<AtomicBool>,
     server_addr: SocketAddr,
     connections: Connections,
 ) -> io::Result<()> {
+    let _live = LiveConnection::open();
     while let Some((kind, payload)) = read_frame(&mut stream)? {
+        let span = Span::start();
+        // Counted before dispatch so a STATS response includes the request
+        // that asked for it.
+        stats.count(kind);
         let response = match kind {
             REQ_INGEST => handle_ingest(&store, &payload),
-            REQ_STATS => Ok(handle_stats(&store)),
+            REQ_STATS => Ok(handle_stats(&store, &stats)),
             REQ_DETECT => handle_detect(&store),
+            REQ_METRICS => handle_metrics(),
+            REQ_TRACE => handle_trace(&payload),
             REQ_SHUTDOWN => {
                 stop.store(true, Ordering::SeqCst);
                 write_frame(&mut stream, RESP_OK, &[])?;
+                record_request(kind, &span);
                 // Unblock the accept loop so it observes the flag.
                 let _ = TcpStream::connect(wake_addr(server_addr));
                 // A wire SHUTDOWN quiesces the whole server, not just this
@@ -371,6 +546,7 @@ fn handle_connection(
             Ok(out) => write_frame(&mut stream, RESP_OK, &out)?,
             Err(e) => write_error(&mut stream, &e.to_string())?,
         }
+        record_request(kind, &span);
     }
     Ok(())
 }
@@ -389,8 +565,9 @@ fn handle_ingest(store: &ShardedStore, payload: &[u8]) -> Result<Vec<u8>, Protoc
     Ok(out)
 }
 
-/// STATS: per-shard counters, all widened to `u64` on the wire.
-fn handle_stats(store: &ShardedStore) -> Vec<u8> {
+/// STATS: per-shard counters, all widened to `u64` on the wire, followed by
+/// the server's uptime and per-verb request counts.
+fn handle_stats(store: &ShardedStore, frontend: &FrontendStats) -> Vec<u8> {
     let mut out = Vec::new();
     let stats = store.shard_stats();
     // Shard counts are configuration-sized (far below 2^32); saturating
@@ -406,7 +583,75 @@ fn handle_stats(store: &ShardedStore) -> Vec<u8> {
         codec::put_u64(&mut out, usize_to_u64(s.growing_claims));
         codec::put_u8(&mut out, u8::from(s.durable));
     }
+    codec::put_u64(&mut out, frontend.uptime_micros());
+    let counts = frontend.counts();
+    for count in
+        [counts.ingest, counts.stats, counts.detect, counts.shutdown, counts.metrics, counts.trace]
+    {
+        codec::put_u64(&mut out, count);
+    }
     out
+}
+
+/// METRICS: the process-global registry in Prometheus-style text
+/// exposition, as one wire string.
+fn handle_metrics() -> Result<Vec<u8>, ProtocolError> {
+    const REQUEST: &str = "METRICS";
+    let text = registry().render_text();
+    let mut out = Vec::new();
+    codec::put_str(&mut out, &text)
+        .map_err(|source| ProtocolError::Encode { request: REQUEST, source })?;
+    Ok(out)
+}
+
+/// TRACE: the most recent `n` round traces from the global ring, newest
+/// first (`n == 0` means every retained trace).
+fn handle_trace(payload: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+    const REQUEST: &str = "TRACE";
+    let bad = |source| ProtocolError::BadPayload { request: REQUEST, source };
+    let mut r = Reader::new(payload);
+    let declared = r.u32().map_err(bad)?;
+    if !r.is_empty() {
+        return Err(ProtocolError::TrailingBytes {
+            request: REQUEST,
+            trailing: r.remaining(),
+            declared,
+        });
+    }
+    let traces = trace_ring().recent(u32_to_usize(declared));
+    let mut out = Vec::new();
+    // The ring is capacity-bounded far below 2^32, so this never saturates.
+    codec::put_u32(&mut out, u32::try_from(traces.len()).unwrap_or(u32::MAX));
+    let encode = |out: &mut Vec<u8>, s: &str| {
+        codec::put_str(out, s).map_err(|source| ProtocolError::Encode { request: REQUEST, source })
+    };
+    for trace in &traces {
+        codec::put_u64(&mut out, trace.sequence);
+        encode(&mut out, &trace.label)?;
+        codec::put_u64(&mut out, trace.total_nanos);
+        let stages =
+            u32::try_from(trace.stages.len()).map_err(|_| ProtocolError::ResponseTooLarge {
+                request: REQUEST,
+                len: trace.stages.len(),
+                limit: u32_to_usize(u32::MAX),
+                entries: trace.stages.len(),
+            })?;
+        codec::put_u32(&mut out, stages);
+        for stage in &trace.stages {
+            encode(&mut out, &stage.name)?;
+            codec::put_u64(&mut out, stage.nanos);
+            codec::put_u64(&mut out, stage.count);
+        }
+    }
+    if usize_to_u64(out.len()) > u64::from(codec::MAX_WIRE_FRAME_LEN) {
+        return Err(ProtocolError::ResponseTooLarge {
+            request: REQUEST,
+            len: out.len(),
+            limit: u32_to_usize(codec::MAX_WIRE_FRAME_LEN),
+            entries: traces.len(),
+        });
+    }
+    Ok(out)
 }
 
 /// DETECT: run a sharded round and encode the copying pairs by name.
@@ -553,11 +798,12 @@ impl Client {
         Reader::new(&resp).u64().map_err(invalid)
     }
 
-    /// Fetches per-shard statistics.
-    pub fn stats(&mut self) -> io::Result<Vec<WireShardStats>> {
+    /// Fetches fleet statistics: per-shard counters plus the server's
+    /// uptime and per-verb request counts.
+    pub fn stats(&mut self) -> io::Result<WireFleetStats> {
         let resp = self.request(REQ_STATS, &[])?;
         let mut r = Reader::new(&resp);
-        let decode = |r: &mut Reader<'_>| -> Result<Vec<WireShardStats>, CodecError> {
+        let decode = |r: &mut Reader<'_>| -> Result<WireFleetStats, CodecError> {
             let n = u32_to_usize(r.u32()?);
             let mut shards = Vec::with_capacity(n.min(1 << 12));
             for _ in 0..n {
@@ -572,7 +818,49 @@ impl Client {
                     durable: r.u8()? != 0,
                 });
             }
-            Ok(shards)
+            let uptime_micros = r.u64()?;
+            let requests = WireRequestCounts {
+                ingest: r.u64()?,
+                stats: r.u64()?,
+                detect: r.u64()?,
+                shutdown: r.u64()?,
+                metrics: r.u64()?,
+                trace: r.u64()?,
+            };
+            Ok(WireFleetStats { shards, uptime_micros, requests })
+        };
+        decode(&mut r).map_err(invalid)
+    }
+
+    /// Fetches the server process's metrics registry in Prometheus-style
+    /// text exposition.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let resp = self.request(REQ_METRICS, &[])?;
+        Reader::new(&resp).string().map_err(invalid)
+    }
+
+    /// Fetches the server process's most recent `n` round traces, newest
+    /// first (`0` means every retained trace).
+    pub fn trace(&mut self, n: u32) -> io::Result<Vec<RoundTrace>> {
+        let mut payload = Vec::new();
+        codec::put_u32(&mut payload, n);
+        let resp = self.request(REQ_TRACE, &payload)?;
+        let mut r = Reader::new(&resp);
+        let decode = |r: &mut Reader<'_>| -> Result<Vec<RoundTrace>, CodecError> {
+            let count = u32_to_usize(r.u32()?);
+            let mut traces = Vec::with_capacity(count.min(1 << 10));
+            for _ in 0..count {
+                let sequence = r.u64()?;
+                let label = r.string()?;
+                let total_nanos = r.u64()?;
+                let num_stages = u32_to_usize(r.u32()?);
+                let mut stages = Vec::with_capacity(num_stages.min(1 << 10));
+                for _ in 0..num_stages {
+                    stages.push(TraceStage { name: r.string()?, nanos: r.u64()?, count: r.u64()? });
+                }
+                traces.push(RoundTrace { label, sequence, total_nanos, stages });
+            }
+            Ok(traces)
         };
         decode(&mut r).map_err(invalid)
     }

@@ -27,7 +27,8 @@
 //! * **[`frontend`]** — a std-only `TcpListener` request loop speaking a
 //!   checksummed length-prefixed protocol built on
 //!   [`copydet_model::codec`]: INGEST batch / STATS / DETECT round /
-//!   SHUTDOWN, plus the matching blocking [`Client`](frontend::Client).
+//!   SHUTDOWN / METRICS exposition / TRACE (recent round traces), plus the
+//!   matching blocking [`Client`](frontend::Client).
 //!
 //! ```
 //! use copydet_serve::{ShardedDetector, ShardedStore};
@@ -60,7 +61,8 @@ mod shard;
 pub use detector::ShardedDetector;
 pub use shard::{fnv1a64, partition_of, Router, ShardMaps, ShardedStore};
 
-// Re-exported so serve users can name the store/detect types without direct
-// dependencies.
+// Re-exported so serve users can name the store/detect/obs types without
+// direct dependencies.
 pub use copydet_detect::DetectionResult;
+pub use copydet_obs::{RoundTrace, TraceStage};
 pub use copydet_store::{LiveConfig, StoreConfig, StoreIoError, StoreStats};

@@ -4,6 +4,7 @@
 use copydet_index::SharedItemCounts;
 use copydet_model::sync::RankedRwLock;
 use copydet_model::{ItemId, NameTable, SourceId, SourcePair};
+use copydet_obs::Span;
 use copydet_store::{
     read_bounded_text, SharedClaimStore, StoreConfig, StoreIoError, StoreSnapshot, StoreStats,
 };
@@ -354,15 +355,29 @@ impl ShardedStore {
     /// because shards are item-disjoint, that union is itself a dataset
     /// some valid interleaving of the ingest stream produces.
     pub fn capture_shards(&self) -> Vec<(StoreSnapshot, Arc<SharedItemCounts>)> {
-        self.shards
+        self.capture_shards_traced().0
+    }
+
+    /// [`capture_shards`](Self::capture_shards) plus the wall time each
+    /// shard's capture took (lock wait + snapshot + counts handle clone), in
+    /// nanoseconds, indexed like the captures. Feeds the `shard<i>.capture`
+    /// stages of the round trace.
+    pub fn capture_shards_traced(&self) -> (Vec<(StoreSnapshot, Arc<SharedItemCounts>)>, Vec<u64>) {
+        let mut nanos = Vec::with_capacity(self.shards.len());
+        let captures = self
+            .shards
             .iter()
             .map(|shard| {
+                let span = Span::start();
                 let mut guard = shard.lock();
                 let snapshot = guard.snapshot();
                 let counts = Arc::clone(guard.shared_item_counts_handle());
+                drop(guard);
+                nanos.push(span.elapsed_nanos());
                 (snapshot, counts)
             })
-            .collect()
+            .collect();
+        (captures, nanos)
     }
 
     /// Builds the local→global id maps for a shard snapshot. Names not yet

@@ -36,12 +36,17 @@ fn ingest_stats_detect_shutdown_roundtrip() {
     assert_eq!(total, claims.len() as u64, "every (source, item) slot is distinct");
     assert_eq!(store.num_claims(), claims.len());
 
-    // Stats reflect the fleet: three shards, items spread across them.
+    // Stats reflect the fleet: three shards, items spread across them, and
+    // the request accounting covers the traffic so far (one INGEST, one
+    // STATS — the in-flight request counts itself).
     let stats = client.stats().expect("stats");
-    assert_eq!(stats.len(), 3);
-    let live: u64 = stats.iter().map(|s| s.live_claims).sum();
+    assert_eq!(stats.shards.len(), 3);
+    let live: u64 = stats.shards.iter().map(|s| s.live_claims).sum();
     assert_eq!(live, claims.len() as u64);
-    assert!(stats.iter().all(|s| !s.durable), "in-memory fleet");
+    assert!(stats.shards.iter().all(|s| !s.durable), "in-memory fleet");
+    assert_eq!(stats.requests.ingest, 1);
+    assert_eq!(stats.requests.stats, 1);
+    assert_eq!(stats.requests.detect, 0);
 
     // A detection round over the wire equals an in-process sharded round.
     let detection = client.detect().expect("detect");
@@ -123,6 +128,84 @@ fn error_message(payload: &[u8]) -> String {
 }
 
 #[test]
+fn metrics_and_trace_roundtrip() {
+    let store = ShardedStore::new(2);
+    let server = frontend::serve(store, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let claims = corpus();
+    let borrowed: Vec<(&str, &str, &str)> =
+        claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())).collect();
+    client.ingest(&borrowed).expect("ingest");
+    client.detect().expect("detect");
+
+    // METRICS: the text exposition covers the round that just ran and the
+    // frontend's own per-verb accounting (the registry is process-global,
+    // so only presence and shape are asserted, never exact values).
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.contains("# TYPE copydet_serve_round_nanos histogram"), "got:\n{metrics}");
+    assert!(metrics.contains("copydet_serve_rounds_total"), "got:\n{metrics}");
+    assert!(
+        metrics.contains("copydet_frontend_requests_total{verb=\"DETECT\"}"),
+        "got:\n{metrics}"
+    );
+    assert!(metrics.contains("copydet_frontend_connections_live"), "got:\n{metrics}");
+
+    // TRACE: the DETECT round pushed a trace whose stages decompose it.
+    let traces = client.trace(1).expect("trace");
+    assert_eq!(traces.len(), 1);
+    let trace = traces.first().expect("one trace");
+    assert_eq!(trace.label, "sharded_round");
+    assert!(trace.sequence >= 1, "ring-assigned sequence");
+    assert!(trace.total_nanos > 0);
+    assert!(trace.stage_nanos("capture").is_some(), "stages: {:?}", trace.stages);
+    assert!(trace.stage_nanos("shard0.scan").is_some(), "stages: {:?}", trace.stages);
+    assert!(trace.stage_nanos("merge.fold").is_some(), "stages: {:?}", trace.stages);
+
+    client.shutdown().expect("shutdown");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_trace_request_is_a_typed_error_not_fatal() {
+    let store = ShardedStore::new(2);
+    let server = frontend::serve(store, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+
+    // A TRACE payload with bytes after the declared count is refused with a
+    // typed error naming the request — and the connection keeps serving.
+    let mut bad = Vec::new();
+    copydet_model::codec::put_u32(&mut bad, 1);
+    bad.push(0xAB);
+    let mut raw = TcpStream::connect(addr).expect("raw connect");
+    raw.write_all(
+        &copydet_model::codec::encode_wire_frame(frontend::REQ_TRACE, &bad).expect("tiny frame"),
+    )
+    .unwrap();
+    let (kind, payload) = read_raw_frame(&mut raw);
+    assert_eq!(kind, frontend::RESP_ERR);
+    let message = error_message(&payload);
+    assert!(message.contains("TRACE"), "names the request: {message}");
+    assert!(message.contains("trailing"), "names the defect: {message}");
+    // The same connection still serves a well-formed TRACE.
+    raw.write_all(
+        &copydet_model::codec::encode_wire_frame(frontend::REQ_TRACE, &{
+            let mut ok = Vec::new();
+            copydet_model::codec::put_u32(&mut ok, 0);
+            ok
+        })
+        .expect("tiny frame"),
+    )
+    .unwrap();
+    let (kind, _) = read_raw_frame(&mut raw);
+    assert_eq!(kind, frontend::RESP_OK, "connection survives the malformed frame");
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    server.shutdown();
+}
+
+#[test]
 fn protocol_errors_are_reported_not_fatal() {
     let store = ShardedStore::new(2);
     let server = frontend::serve(store, "127.0.0.1:0").expect("bind loopback");
@@ -163,7 +246,7 @@ fn protocol_errors_are_reported_not_fatal() {
     assert_eq!(kind, frontend::RESP_OK, "connection survives the malformed frame");
     // And so does every other connection.
     let stats = client.stats().expect("stats still served");
-    assert_eq!(stats.len(), 2);
+    assert_eq!(stats.shards.len(), 2);
 
     client.shutdown().expect("shutdown");
     server.shutdown();

@@ -13,9 +13,28 @@ use copydet_index::{InvertedIndex, SharedItemCounts};
 use copydet_model::{
     Claim, Dataset, Interner, ItemId, ItemValueGroup, NameTable, SourceId, ValueId,
 };
+use copydet_obs::{registry, Counter, Histogram, Span};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Claims applied to the in-memory state (ingest paths and WAL replay).
+fn ingest_claims_total() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| registry().counter("copydet_store_ingest_claims_total"))
+}
+
+/// Wall time of one seal (freeze + optional auto-compaction + commit).
+fn seal_nanos() -> &'static Arc<Histogram> {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| registry().histogram("copydet_store_seal_nanos"))
+}
+
+/// Wall time of one compaction (segment merge + commit).
+fn compact_nanos() -> &'static Arc<Histogram> {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| registry().histogram("copydet_store_compact_nanos"))
+}
 
 /// Configuration of a [`ClaimStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -527,6 +546,7 @@ impl ClaimStore {
         allow_autoseal: bool,
     ) {
         self.total_ingested += 1;
+        ingest_claims_total().inc();
         let old = self.merged_value(source, item);
         self.tracker.note(source, item, old);
         if old.is_none() {
@@ -581,6 +601,7 @@ impl ClaimStore {
         if self.growing.is_empty() {
             return;
         }
+        let span = Span::start();
         let growing = std::mem::take(&mut self.growing);
         self.sealed.push(growing.freeze());
         let mut auto_compacted = false;
@@ -591,6 +612,7 @@ impl ClaimStore {
             }
         }
         self.persist_commit(true, auto_compacted);
+        seal_nanos().record(span.elapsed_nanos());
     }
 
     /// Coalesces all sealed segments into one (newest-wins), bounding the
@@ -604,8 +626,10 @@ impl ClaimStore {
         if self.sealed.len() < 2 {
             return;
         }
+        let span = Span::start();
         self.compact_segments();
         self.persist_commit(false, true);
+        compact_nanos().record(span.elapsed_nanos());
     }
 
     /// The in-memory merge of all sealed segments into one (newest-wins).

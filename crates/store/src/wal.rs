@@ -21,10 +21,23 @@
 use crate::error::StoreIoError;
 use crate::format::{self, WalRecord};
 use copydet_model::codec::usize_to_u64;
+use copydet_obs::{registry, Histogram, Span};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Latency of one WAL frame append (encode + gated write), in nanoseconds.
+fn wal_append_nanos() -> &'static Arc<Histogram> {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| registry().histogram("copydet_store_wal_append_nanos"))
+}
+
+/// Latency of one WAL fsync, in nanoseconds.
+fn wal_fsync_nanos() -> &'static Arc<Histogram> {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| registry().histogram("copydet_store_wal_fsync_nanos"))
+}
 
 /// The fate of one physical I/O event, chosen by a [`SyncPoint`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -298,6 +311,7 @@ impl WalWriter {
     /// Appends one record as a checksummed frame (write-ahead: call before
     /// applying the record in memory).
     pub fn append(&mut self, io: &mut DurableIo, record: &WalRecord) -> Result<(), StoreIoError> {
+        let span = Span::start();
         let payload = format::encode_record(record).map_err(|e| e.at(&self.path))?;
         let frame = format::encode_frame(&payload).map_err(|e| e.at(&self.path))?;
         let Some(file) = self.file.as_mut() else {
@@ -309,6 +323,9 @@ impl WalWriter {
         self.frames += 1;
         self.bytes += usize_to_u64(frame.len());
         self.unsynced += 1;
+        // Recorded before any chained fsync, so the append and fsync series
+        // decompose the per-claim durability cost instead of double-counting.
+        wal_append_nanos().record(span.elapsed_nanos());
         if self.fsync_each {
             self.sync(io)?;
         }
@@ -317,10 +334,12 @@ impl WalWriter {
 
     /// Fsyncs appended frames down to disk.
     pub fn sync(&mut self, io: &mut DurableIo) -> Result<(), StoreIoError> {
+        let span = Span::start();
         if let Some(file) = &self.file {
             io.fsync(file, &self.path, "wal:fsync")?;
         }
         self.unsynced = 0;
+        wal_fsync_nanos().record(span.elapsed_nanos());
         Ok(())
     }
 

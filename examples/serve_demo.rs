@@ -37,11 +37,14 @@ fn feed() -> Vec<(String, String, String)> {
 fn drive_round(addr: std::net::SocketAddr) -> std::io::Result<Vec<(String, String)>> {
     let mut client = Client::connect(addr)?;
     let stats = client.stats()?;
-    let live: u64 = stats.iter().map(|s| s.live_claims).sum();
+    let live: u64 = stats.shards.iter().map(|s| s.live_claims).sum();
     println!(
-        "  fleet: {} shard(s), {live} live claims, items per shard: {:?}",
-        stats.len(),
-        stats.iter().map(|s| s.num_items).collect::<Vec<_>>()
+        "  fleet: {} shard(s), {live} live claims, items per shard: {:?} (up {} µs, {} request(s) \
+         served)",
+        stats.shards.len(),
+        stats.shards.iter().map(|s| s.num_items).collect::<Vec<_>>(),
+        stats.uptime_micros,
+        stats.requests.ingest + stats.requests.stats + stats.requests.detect,
     );
     let detection = client.detect()?;
     println!("  detection considered {} pair(s):", detection.pairs_considered);

@@ -26,6 +26,7 @@
 //! | [`nra`] | `copydet-nra` | Fagin's NRA top-k aggregation |
 //! | [`synth`] | `copydet-synth` | synthetic workloads with planted copying |
 //! | [`store`] | `copydet-store` | segmented live claim store, snapshots, deltas, live detection |
+//! | [`obs`] | `copydet-obs` | metrics registry, round tracing, text exposition |
 //! | [`serve`] | `copydet-serve` | sharded serving engine: item-partitioned stores, fan-out rounds, TCP frontend |
 //! | [`eval`] | `copydet-eval` | metrics and the per-table experiment drivers |
 //!
@@ -70,6 +71,7 @@ pub use copydet_fusion as fusion;
 pub use copydet_index as index;
 pub use copydet_model as model;
 pub use copydet_nra as nra;
+pub use copydet_obs as obs;
 pub use copydet_serve as serve;
 pub use copydet_store as store;
 pub use copydet_synth as synth;
