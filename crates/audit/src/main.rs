@@ -5,17 +5,17 @@
 //! hand-rolled token scan (no `syn`, no network, no dependencies):
 //!
 //! * **no-panic** — the recovery-, wire- and hot-path-facing modules
-//!   (`serve::frontend`, `store::{wal, durable, format}`, `model::codec`,
-//!   `obs::{metrics, trace}`) must not call `.unwrap()` / `.expect(..)`,
-//!   invoke `panic!`-family macros, or index/slice with `[..]` outside
-//!   `#[cfg(test)]` code. These modules parse whatever a crash or a remote
-//!   peer left behind — or run inside every instrumented ingest/detect
-//!   operation; every failure must surface as a typed error (or, for
-//!   instrumentation, degrade silently).
-//! * **lossy-cast** — the codec/format/wire/observability modules must not
-//!   use bare `as` integer casts; widths change via `try_from` (or the
-//!   checked helpers in `copydet_model::codec`), so truncation is a typed
-//!   error, not silence.
+//!   (`serve::{frontend, registry_log}`, `store::{wal, durable, format}`,
+//!   `model::codec`, `obs::{metrics, trace}`) must not call `.unwrap()` /
+//!   `.expect(..)`, invoke `panic!`-family macros, or index/slice with
+//!   `[..]` outside `#[cfg(test)]` code. These modules parse whatever a
+//!   crash or a remote peer left behind — or run inside every instrumented
+//!   ingest/detect operation; every failure must surface as a typed error
+//!   (or, for instrumentation, degrade silently).
+//! * **lossy-cast** — the codec/format/wire/observability modules, plus the
+//!   cross-shard merge (`detect::sharded`), must not use bare `as` integer
+//!   casts; widths change via `try_from` (or the checked helpers in
+//!   `copydet_model::codec`), so truncation is a typed error, not silence.
 //! * **lock-rank** — every `Mutex`/`RwLock`/`RankedMutex`/`RankedRwLock`
 //!   declaration in `crates/serve/src`, `crates/store/src` and
 //!   `crates/obs/src` carries a `// lock-rank: N (name)` annotation, the
@@ -361,6 +361,7 @@ const LINT_HEADER: &str = "lint-header";
 /// panic-free.
 const PANIC_SCOPE: &[&str] = &[
     "crates/serve/src/frontend.rs",
+    "crates/serve/src/registry_log.rs",
     "crates/store/src/wal.rs",
     "crates/store/src/durable.rs",
     "crates/store/src/format.rs",
@@ -369,11 +370,15 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/obs/src/trace.rs",
 ];
 
-/// Codec/format/wire modules where `as` integer casts hide truncation.
+/// Codec/format/wire modules — plus the cross-shard merge, which folds
+/// evidence counts across id spaces — where `as` integer casts hide
+/// truncation.
 const CAST_SCOPE: &[&str] = &[
     "crates/model/src/codec.rs",
     "crates/store/src/format.rs",
     "crates/serve/src/frontend.rs",
+    "crates/serve/src/registry_log.rs",
+    "crates/detect/src/sharded.rs",
     "crates/obs/src/metrics.rs",
     "crates/obs/src/trace.rs",
 ];

@@ -14,13 +14,18 @@
 //! * fan-out detection-round latency ([`ShardedDetector::detect_round`]),
 //! * the round decomposed: per-shard evidence scan vs cross-shard merge,
 //!   with the merge further broken into its phases (evidence collect,
-//!   per-pair fold, vote) from [`copydet_detect::MergeTimings`].
+//!   per-pair fold, vote) from [`copydet_detect::MergeTimings`],
+//! * a `merge_threads` series: the cross-shard merge re-run at 1/2/4/8
+//!   workers ([`copydet_detect::merge_shard_rounds_parallel`] — bit-identical
+//!   output at every count, so only the wall time varies; on a 1-core host
+//!   the counts >1 measure scheduling overhead, not speedup).
 //!
 //! Run with: `cargo run --release -p copydet-bench --bin bench_serve_json`
 
 use copydet_bayes::SourceAccuracies;
 use copydet_detect::{
-    collect_shard_evidence, merge_shard_rounds_timed, MergeTimings, ShardRoundEvidence,
+    collect_shard_evidence, merge_shard_rounds_parallel, merge_shard_rounds_timed, MergeTimings,
+    ShardRoundEvidence,
 };
 use copydet_serve::{LiveConfig, ShardedDetector, ShardedStore};
 use std::fmt::Write as _;
@@ -123,7 +128,7 @@ fn main() {
         store.ingest_batch(claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())));
         let mut detector = ShardedDetector::new();
         let round_s = time_n(3, || {
-            let result = detector.detect_round(&store);
+            let result = detector.detect_round(&store).expect("consistent capture");
             assert!(result.pairs_considered > 0);
         });
 
@@ -137,7 +142,10 @@ fn main() {
             let start = Instant::now();
             for ((snapshot, counts), map) in captures.iter().zip(&maps) {
                 let input = live.prepare(snapshot);
-                evidence.push(collect_shard_evidence(&input.as_round_input(), counts, &map.ids));
+                evidence.push(
+                    collect_shard_evidence(&input.as_round_input(), counts, &map.ids)
+                        .expect("consistent capture"),
+                );
             }
             start.elapsed().as_secs_f64()
         };
@@ -155,6 +163,22 @@ fn main() {
         });
         let secs = |nanos: u64| nanos as f64 / 1e9;
 
+        // The same merge re-run at fixed worker counts. The output is
+        // bit-identical at every count (asserted against the sequential
+        // outcomes), so this series isolates the wall-time effect of the
+        // `merge_parallelism` knob on this host.
+        let (sequential, _) = merge_shard_rounds_timed(evidence.clone(), &accuracies, params);
+        let mut thread_series = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let t = time_n(3, || {
+                let (result, _, _) =
+                    merge_shard_rounds_parallel(evidence.clone(), &accuracies, params, threads);
+                assert_eq!(result.outcomes, sequential.outcomes, "parallel merge must be exact");
+            });
+            thread_series
+                .push(format!("        {{ \"threads\": {threads}, \"merge_s\": {t:.6} }}"));
+        }
+
         let mut e = String::new();
         let _ = write!(
             e,
@@ -171,8 +195,10 @@ fn main() {
                 "        \"evidence_collect_s\": {:.6},\n",
                 "        \"pair_fold_s\": {:.6},\n",
                 "        \"vote_s\": {:.6},\n",
-                "        \"pairs\": {}\n",
-                "      }}\n",
+                "        \"pairs\": {},\n",
+                "        \"pruned_pairs\": {}\n",
+                "      }},\n",
+                "      \"merge_threads\": [\n{}\n      ]\n",
                 "    }}"
             ),
             shards,
@@ -186,6 +212,8 @@ fn main() {
             secs(breakdown.fold_nanos),
             secs(breakdown.vote_nanos),
             breakdown.pairs,
+            breakdown.pruned_pairs,
+            thread_series.join(",\n"),
         );
         entries.push(e);
     }

@@ -1,5 +1,6 @@
 //! Error type for the detection layer.
 
+use copydet_model::SourcePair;
 use std::fmt;
 
 /// Errors from configuring or running detection algorithms.
@@ -23,6 +24,20 @@ pub enum DetectError {
     },
     /// A sampling strategy was configured with an invalid rate.
     InvalidSamplingRate(f64),
+    /// A shard's incrementally-maintained shared-item counts disagree with
+    /// the snapshot they were handed to
+    /// [`collect_shard_evidence`](crate::collect_shard_evidence) with. The
+    /// two are only consistent when captured together under one store lock;
+    /// a mismatch means the caller raced a capture, and the round should be
+    /// failed and retried, not the thread killed.
+    ShardEvidenceMismatch {
+        /// The global source pair whose evidence disagreed.
+        pair: SourcePair,
+        /// Shared items the counts index claims for the pair.
+        counted: usize,
+        /// Shared items actually observed in the snapshot.
+        observed: usize,
+    },
 }
 
 impl fmt::Display for DetectError {
@@ -39,6 +54,11 @@ impl fmt::Display for DetectError {
             DetectError::InvalidSamplingRate(r) => {
                 write!(f, "sampling rate {r} is not in (0, 1]")
             }
+            DetectError::ShardEvidenceMismatch { pair, counted, observed } => write!(
+                f,
+                "shard evidence for pair {pair} observed {observed} shared items but the \
+                 counts index claims {counted}; counts and snapshot were not captured together"
+            ),
         }
     }
 }
@@ -56,5 +76,12 @@ mod tests {
         assert!(DetectError::InvalidSamplingRate(1.5).to_string().contains("1.5"));
         let e = DetectError::ProbabilityTableMismatch { items: 2, covered: 1 };
         assert!(e.to_string().contains("2"));
+        let e = DetectError::ShardEvidenceMismatch {
+            pair: SourcePair::new(copydet_model::SourceId::new(0), copydet_model::SourceId::new(1)),
+            counted: 3,
+            observed: 2,
+        };
+        let text = e.to_string();
+        assert!(text.contains("(S0, S1)") && text.contains('3') && text.contains('2'));
     }
 }

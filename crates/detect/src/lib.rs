@@ -50,6 +50,7 @@ pub use scan::{
 };
 pub use scan::{BoundDetector, HybridDetector, IndexDetector};
 pub use sharded::{
-    collect_shard_evidence, merge_shard_rounds, merge_shard_rounds_timed, MergeTimings, ShardIdMap,
-    ShardRoundEvidence, SharedItemObservation,
+    collect_shard_evidence, merge_shard_rounds, merge_shard_rounds_parallel,
+    merge_shard_rounds_timed, MergeTimings, MergeWorkerReport, ShardIdMap, ShardRoundEvidence,
+    SharedItemObservation,
 };

@@ -14,10 +14,28 @@
 //!
 //! 1. each shard reports *observations* (shared item + the value-agreement
 //!    probability), not partial score sums, with ids already translated to
-//!    the global id space via a [`ShardIdMap`];
-//! 2. [`merge_shard_rounds`] sorts each pair's observations by global item
-//!    id and folds them in that order — exactly the order in which
-//!    `ScoringContext::score_pair` walks a single store's claim lists.
+//!    the global id space via a [`ShardIdMap`]; a shard's per-pair
+//!    observation list is already **sorted by global item id** (a shard's
+//!    local item order is the global order restricted to it);
+//! 2. [`merge_shard_rounds_parallel`] stream-folds each pair's sorted
+//!    per-shard runs in ascending global item id — exactly the order in
+//!    which `ScoringContext::score_pair` walks a single store's claim
+//!    lists — without ever concatenating and re-sorting them.
+//!
+//! Source pairs are independent of each other, so the per-pair folds are
+//! embarrassingly parallel: pairs are partitioned **deterministically** (a
+//! stable FNV-1a hash of the global pair ids) across `parallelism` workers
+//! in a [`std::thread::scope`]. Every worker performs the identical
+//! per-pair float sequence the sequential merge performs, and the partial
+//! results combine through order-insensitive operations only (disjoint
+//! outcome maps, exact integer counter sums) — which is why the parallel
+//! merge is bit-identical to the sequential one for every thread count
+//! (property-tested in `copydet-serve`'s `shard_equivalence` suite).
+//!
+//! Pairs whose merged evidence is empty are **pruned** before a
+//! [`PairEvidence`] is materialized (they cannot arise from
+//! [`collect_shard_evidence`], which only visits pairs the shard counts say
+//! share an item, but hand-assembled evidence can carry them).
 //!
 //! The remaining input, the per-value truth probability, is order-sensitive
 //! too (the vote normalizes over an item's value groups in sequence); shard
@@ -26,13 +44,18 @@
 //! `copydet_fusion::vote_group_probabilities` — see `copydet-serve`.
 
 use crate::api::RoundInput;
+use crate::error::DetectError;
 use crate::result::{DetectionResult, PairOutcome};
 use copydet_bayes::{CopyDecision, CopyParams, PairEvidence, SourceAccuracies};
 use copydet_index::SharedItemCounts;
-use copydet_model::codec::usize_to_u64;
+use copydet_model::codec::{u32_to_usize, usize_to_u64};
 use copydet_model::{ItemId, SourceId, SourcePair};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Hard cap on merge workers: partitioning 2 000-odd pairs over more
+/// threads than this only buys scheduler overhead.
+const MAX_MERGE_PARALLELISM: usize = 64;
 
 /// Translation from one shard's dense ids to the global id space.
 ///
@@ -85,21 +108,26 @@ impl ShardRoundEvidence {
 /// becomes a [`SharedItemObservation`] carrying the truth probability of the
 /// agreed value, translated to global ids via `map`.
 ///
+/// # Errors
+/// [`DetectError::ShardEvidenceMismatch`] if `counts` disagrees with the
+/// snapshot in `input` (a listed pair must share exactly the counted number
+/// of items). The two are only consistent when captured together under one
+/// store lock; on the serving path a mismatch is a recoverable request
+/// failure, not a dead round thread.
+///
 /// # Panics
-/// Panics if `counts` disagrees with the snapshot in `input` (a listed pair
-/// must share the counted number of items) — the caller must capture both
-/// under one store lock — or if `map` does not cover the snapshot's ids.
+/// Panics if `map` does not cover the snapshot's ids.
 pub fn collect_shard_evidence(
     input: &RoundInput<'_>,
     counts: &SharedItemCounts,
     map: &ShardIdMap,
-) -> ShardRoundEvidence {
+) -> Result<ShardRoundEvidence, DetectError> {
     let mut evidence = ShardRoundEvidence::default();
     for (pair, count) in counts.iter_nonzero() {
         let (l1, l2) = (pair.first(), pair.second());
         let claims1 = input.dataset.claims_of(l1);
         let claims2 = input.dataset.claims_of(l2);
-        let mut observations = Vec::with_capacity(count as usize);
+        let mut observations = Vec::with_capacity(u32_to_usize(count));
         let (mut i, mut j) = (0, 0);
         while i < claims1.len() && j < claims2.len() {
             let (d1, v1) = claims1[i];
@@ -119,28 +147,31 @@ pub fn collect_shard_evidence(
                 }
             }
         }
-        assert_eq!(
-            observations.len(),
-            count as usize,
-            "shared-item counts disagree with the snapshot for local pair {pair}: counts and \
-             snapshot must be captured under one store lock"
-        );
         let global = SourcePair::new(map.sources[l1.index()], map.sources[l2.index()]);
+        if observations.len() != u32_to_usize(count) {
+            return Err(DetectError::ShardEvidenceMismatch {
+                pair: global,
+                counted: u32_to_usize(count),
+                observed: observations.len(),
+            });
+        }
         evidence.pairs.insert(global, observations);
     }
-    evidence
+    Ok(evidence)
 }
 
-/// Merges per-shard overlap evidence into global pairwise decisions.
+/// Merges per-shard overlap evidence into global pairwise decisions,
+/// sequentially (one merge worker).
 ///
-/// For every pair, the observations of all shards are concatenated, sorted
-/// by global item id (shards are item-disjoint, so there are no duplicates)
-/// and folded into a [`PairEvidence`] in that order — the identical sequence
-/// of floating-point operations a single-store `score_pair` walk performs —
-/// then the posterior of Eq. 2 decides. `accuracies` are the **global**
-/// source accuracies; the computation counters use the same accounting as
-/// PAIRWISE (two directional score updates per shared item, one posterior
-/// per materialized pair).
+/// For every pair, the sorted observation runs of all shards are
+/// stream-folded in ascending global item id (shards are item-disjoint, so
+/// there are no duplicates) into a [`PairEvidence`] — the identical
+/// sequence of floating-point operations a single-store `score_pair` walk
+/// performs — then the posterior of Eq. 2 decides. `accuracies` are the
+/// **global** source accuracies; the computation counters use the same
+/// accounting as PAIRWISE (two directional score updates per shared item,
+/// one posterior per materialized pair). Pairs with no observations at all
+/// are pruned without materializing evidence.
 pub fn merge_shard_rounds(
     rounds: Vec<ShardRoundEvidence>,
     accuracies: &SourceAccuracies,
@@ -149,24 +180,33 @@ pub fn merge_shard_rounds(
     merge_shard_rounds_timed(rounds, accuracies, params).0
 }
 
-/// Wall-time decomposition of one [`merge_shard_rounds_timed`] call.
+/// Wall-time decomposition of one cross-shard merge.
 ///
-/// The three phase durations partition the merge's own work: gathering
-/// per-shard evidence into one per-pair map (`collect`), the per-pair
-/// sort-and-fold of observations into a [`PairEvidence`] (`fold`), and the
-/// per-pair posterior plus decision (`vote`). The fold/vote split is
-/// measured with one extra clock read per pair, so for very small pairs the
-/// split is clock-granularity coarse even though the sum stays accurate.
+/// The three phase durations partition the merge's own work: partitioning
+/// per-shard evidence runs into per-pair (and, when parallel, per-worker)
+/// buckets (`collect`), the per-pair stream-fold of sorted observation runs
+/// into a [`PairEvidence`] (`fold`), and the per-pair posterior plus
+/// decision (`vote`). With more than one merge worker, `fold_nanos` and
+/// `vote_nanos` are **summed across workers** (CPU time, not wall time);
+/// the per-worker wall times live in the [`MergeWorkerReport`]s. The
+/// fold/vote split is measured with one extra clock read per pair, so for
+/// very small pairs the split is clock-granularity coarse even though the
+/// sum stays accurate.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MergeTimings {
-    /// Nanoseconds spent concatenating shard evidence into the per-pair map.
+    /// Nanoseconds spent partitioning shard evidence into per-pair buckets.
     pub collect_nanos: u64,
-    /// Nanoseconds spent sorting and folding observations, across all pairs.
+    /// Nanoseconds spent stream-folding observation runs, summed across all
+    /// pairs and workers.
     pub fold_nanos: u64,
-    /// Nanoseconds spent on posteriors and decisions, across all pairs.
+    /// Nanoseconds spent on posteriors and decisions, summed across all
+    /// pairs and workers.
     pub vote_nanos: u64,
     /// Number of source pairs the merge materialized.
     pub pairs: u64,
+    /// Number of source pairs skipped because their merged evidence was
+    /// empty (no [`PairEvidence`] was materialized for them).
+    pub pruned_pairs: u64,
 }
 
 impl MergeTimings {
@@ -176,56 +216,178 @@ impl MergeTimings {
     }
 }
 
+/// One merge worker's share of a parallel cross-shard merge, for round
+/// traces and benchmarks. Workers are reported in partition-index order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeWorkerReport {
+    /// Source pairs this worker materialized.
+    pub pairs: u64,
+    /// Source pairs this worker pruned (empty merged evidence).
+    pub pruned_pairs: u64,
+    /// Nanoseconds this worker spent stream-folding observation runs.
+    pub fold_nanos: u64,
+    /// Nanoseconds this worker spent on posteriors and decisions.
+    pub vote_nanos: u64,
+    /// Wall-clock nanoseconds of the worker's whole fold+vote pass.
+    pub wall_nanos: u64,
+}
+
 fn nanos_of(duration: std::time::Duration) -> u64 {
     u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
 }
 
-/// [`merge_shard_rounds`] plus a wall-time breakdown of its phases.
-///
-/// The returned [`DetectionResult`] is bit-identical to what
-/// [`merge_shard_rounds`] produces (that function is a thin wrapper over
-/// this one); the [`MergeTimings`] feed round traces and the serving
-/// benchmark's merge breakdown.
-pub fn merge_shard_rounds_timed(
-    rounds: Vec<ShardRoundEvidence>,
-    accuracies: &SourceAccuracies,
-    params: CopyParams,
-) -> (DetectionResult, MergeTimings) {
-    let start = Instant::now();
-    let mut result = DetectionResult::new("SHARDED");
-    let mut timings = MergeTimings::default();
-    let mut merged: HashMap<SourcePair, Vec<SharedItemObservation>> = HashMap::new();
-    for round in rounds {
-        for (pair, mut observations) in round.pairs {
-            merged.entry(pair).or_default().append(&mut observations);
+/// Stable partition of a global source pair onto one of `workers` merge
+/// workers: FNV-1a over the two dense ids, so the assignment is identical
+/// across runs, processes and architectures (it feeds deterministic
+/// per-worker accounting, not just load balancing).
+fn pair_partition(pair: SourcePair, workers: usize) -> usize {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for index in [pair.first().index(), pair.second().index()] {
+        for byte in usize_to_u64(index).to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
-    timings.collect_nanos = nanos_of(start.elapsed());
-    timings.pairs = usize_to_u64(merged.len());
-    for (pair, mut observations) in merged {
-        let fold_start = Instant::now();
-        observations.sort_by_key(|o| o.item);
-        debug_assert!(
-            observations.windows(2).all(|w| w[0].item < w[1].item),
-            "shards must be item-disjoint"
-        );
-        let a_first = accuracies.get(pair.first());
-        let a_second = accuracies.get(pair.second());
-        let mut evidence = PairEvidence::empty();
-        for observation in &observations {
-            match observation.same_value_probability {
-                Some(p) => evidence.add_same_value(p, a_first, a_second, &params),
-                None => evidence.add_different_value(&params),
+    // `workers` is clamped to [1, MAX_MERGE_PARALLELISM]; the modulus fits
+    // usize on every supported target.
+    usize::try_from(hash % usize_to_u64(workers)).unwrap_or(0)
+}
+
+/// The sorted per-shard observation runs of one pair, in shard order.
+type PairRuns = Vec<Vec<SharedItemObservation>>;
+
+/// Folds one observation into the pair's evidence.
+#[inline]
+fn fold_observation(
+    evidence: &mut PairEvidence,
+    observation: &SharedItemObservation,
+    a_first: f64,
+    a_second: f64,
+    params: &CopyParams,
+) {
+    match observation.same_value_probability {
+        Some(p) => evidence.add_same_value(p, a_first, a_second, params),
+        None => evidence.add_different_value(params),
+    }
+}
+
+/// Merges two item-sorted runs into one (shards are item-disjoint, so no
+/// key ever ties).
+fn merge_two_runs(
+    a: Vec<SharedItemObservation>,
+    b: Vec<SharedItemObservation>,
+) -> Vec<SharedItemObservation> {
+    let mut merged = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        debug_assert!(a[i].item != b[j].item, "shards must be item-disjoint");
+        if a[i].item < b[j].item {
+            merged.push(a[i]);
+            i += 1;
+        } else {
+            merged.push(b[j]);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&a[i..]);
+    merged.extend_from_slice(&b[j..]);
+    merged
+}
+
+/// Stream-folds a pair's sorted runs in ascending global item id without
+/// concatenating and re-sorting them: more than two runs are first reduced
+/// pairwise (the merged sequence is the unique sorted order, so the
+/// reduction strategy cannot change the fold order), then the final one or
+/// two runs fold directly.
+fn fold_pair_runs(
+    mut runs: PairRuns,
+    a_first: f64,
+    a_second: f64,
+    params: &CopyParams,
+) -> PairEvidence {
+    while runs.len() > 2 {
+        let mut reduced = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => reduced.push(merge_two_runs(a, b)),
+                None => reduced.push(a),
             }
         }
-        result.counter.score_updates += 2 * evidence.shared_items() as u64;
-        result.shared_values_examined += evidence.shared_values as u64;
+        runs = reduced;
+    }
+    let mut evidence = PairEvidence::empty();
+    match runs.len() {
+        0 => {}
+        1 => {
+            for observation in &runs[0] {
+                fold_observation(&mut evidence, observation, a_first, a_second, params);
+            }
+        }
+        _ => {
+            let (a, b) = (&runs[0], &runs[1]);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                debug_assert!(a[i].item != b[j].item, "shards must be item-disjoint");
+                if a[i].item < b[j].item {
+                    fold_observation(&mut evidence, &a[i], a_first, a_second, params);
+                    i += 1;
+                } else {
+                    fold_observation(&mut evidence, &b[j], a_first, a_second, params);
+                    j += 1;
+                }
+            }
+            for observation in &a[i..] {
+                fold_observation(&mut evidence, observation, a_first, a_second, params);
+            }
+            for observation in &b[j..] {
+                fold_observation(&mut evidence, observation, a_first, a_second, params);
+            }
+        }
+    }
+    evidence
+}
+
+/// One worker's partial merge result: per-pair outcomes plus exact counter
+/// contributions, combined by the caller through order-insensitive
+/// operations only (disjoint map union, integer sums).
+#[derive(Debug, Default)]
+struct MergePartial {
+    outcomes: Vec<(SourcePair, PairOutcome)>,
+    score_updates: u64,
+    shared_values: u64,
+    pruned_pairs: u64,
+    fold_nanos: u64,
+    vote_nanos: u64,
+    wall_nanos: u64,
+}
+
+/// Folds every pair of one worker's bucket. The identical per-pair float
+/// sequence as the sequential merge; only the set of pairs differs.
+fn fold_bucket(
+    bucket: HashMap<SourcePair, PairRuns>,
+    accuracies: &SourceAccuracies,
+    params: &CopyParams,
+) -> MergePartial {
+    let wall_start = Instant::now();
+    let mut partial =
+        MergePartial { outcomes: Vec::with_capacity(bucket.len()), ..Default::default() };
+    for (pair, runs) in bucket {
+        if runs.is_empty() {
+            // Every run was empty: prune before materializing evidence.
+            partial.pruned_pairs += 1;
+            continue;
+        }
+        let fold_start = Instant::now();
+        let a_first = accuracies.get(pair.first());
+        let a_second = accuracies.get(pair.second());
+        let evidence = fold_pair_runs(runs, a_first, a_second, params);
+        partial.score_updates += 2 * usize_to_u64(evidence.shared_items());
+        partial.shared_values += usize_to_u64(evidence.shared_values);
         let vote_start = Instant::now();
-        timings.fold_nanos = timings.fold_nanos.saturating_add(nanos_of(vote_start - fold_start));
-        let posterior = evidence.posterior_independence(&params);
-        result.counter.pair_finalizations += 1;
-        result.pairs_considered += 1;
-        result.outcomes.insert(
+        partial.fold_nanos = partial.fold_nanos.saturating_add(nanos_of(vote_start - fold_start));
+        let posterior = evidence.posterior_independence(params);
+        partial.outcomes.push((
             pair,
             PairOutcome {
                 decision: CopyDecision::from_posterior(posterior),
@@ -233,11 +395,115 @@ pub fn merge_shard_rounds_timed(
                 c_to: evidence.c_to,
                 c_from: evidence.c_from,
             },
-        );
-        timings.vote_nanos = timings.vote_nanos.saturating_add(nanos_of(vote_start.elapsed()));
+        ));
+        partial.vote_nanos = partial.vote_nanos.saturating_add(nanos_of(vote_start.elapsed()));
+    }
+    partial.wall_nanos = nanos_of(wall_start.elapsed());
+    partial
+}
+
+/// [`merge_shard_rounds`] plus a wall-time breakdown of its phases (one
+/// merge worker; see [`merge_shard_rounds_parallel`] for the fan-out).
+pub fn merge_shard_rounds_timed(
+    rounds: Vec<ShardRoundEvidence>,
+    accuracies: &SourceAccuracies,
+    params: CopyParams,
+) -> (DetectionResult, MergeTimings) {
+    let (result, timings, _) = merge_shard_rounds_parallel(rounds, accuracies, params, 1);
+    (result, timings)
+}
+
+/// The cross-shard merge, fanned out across `parallelism` workers.
+///
+/// Pairs are partitioned deterministically by a stable hash of the global
+/// pair ids ([`pair_partition`]); each worker stream-folds its pairs' sorted
+/// per-shard runs in ascending global item id and votes their posteriors.
+/// The partial results combine through disjoint map union and exact integer
+/// sums, so the returned [`DetectionResult`] is **bit-identical** for every
+/// `parallelism` (including 1, the sequential merge) — parallelism changes
+/// wall time, never a single bit of the output.
+///
+/// `parallelism` is clamped to `1..=64`; empty partitions are skipped
+/// without spawning a thread, and `parallelism == 1` runs inline. The
+/// returned [`MergeWorkerReport`]s (one per partition, in partition order)
+/// feed the round trace's per-worker merge spans.
+pub fn merge_shard_rounds_parallel(
+    rounds: Vec<ShardRoundEvidence>,
+    accuracies: &SourceAccuracies,
+    params: CopyParams,
+    parallelism: usize,
+) -> (DetectionResult, MergeTimings, Vec<MergeWorkerReport>) {
+    let start = Instant::now();
+    let workers = parallelism.clamp(1, MAX_MERGE_PARALLELISM);
+    let mut result = DetectionResult::new("SHARDED");
+    let mut timings = MergeTimings::default();
+
+    // Collect: move every per-shard run (a handle, not its observations)
+    // into its pair's bucket. Empty runs are dropped here — but the pair
+    // entry is still created, so a pair whose evidence is empty in *every*
+    // shard is visible to the fold phase as a prunable entry.
+    let mut buckets: Vec<HashMap<SourcePair, PairRuns>> = Vec::new();
+    buckets.resize_with(workers, HashMap::new);
+    for round in rounds {
+        for (pair, observations) in round.pairs {
+            let bucket = match buckets.get_mut(pair_partition(pair, workers)) {
+                Some(bucket) => bucket,
+                None => continue, // unreachable: the partition is < workers
+            };
+            let runs = bucket.entry(pair).or_default();
+            if !observations.is_empty() {
+                runs.push(observations);
+            }
+        }
+    }
+    timings.collect_nanos = nanos_of(start.elapsed());
+
+    // Fold + vote: one worker per non-empty partition.
+    let mut partials: Vec<MergePartial> = Vec::with_capacity(workers);
+    partials.resize_with(workers, MergePartial::default);
+    if workers == 1 {
+        if let (Some(slot), Some(bucket)) = (partials.get_mut(0), buckets.pop()) {
+            *slot = fold_bucket(bucket, accuracies, &params);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .enumerate()
+                .filter(|(_, bucket)| !bucket.is_empty())
+                .map(|(index, bucket)| {
+                    (index, scope.spawn(move || fold_bucket(bucket, accuracies, &params)))
+                })
+                .collect();
+            for (index, handle) in handles {
+                if let (Ok(partial), Some(slot)) = (handle.join(), partials.get_mut(index)) {
+                    *slot = partial;
+                }
+            }
+        });
+    }
+
+    let mut reports = Vec::with_capacity(workers);
+    for partial in partials {
+        reports.push(MergeWorkerReport {
+            pairs: usize_to_u64(partial.outcomes.len()),
+            pruned_pairs: partial.pruned_pairs,
+            fold_nanos: partial.fold_nanos,
+            vote_nanos: partial.vote_nanos,
+            wall_nanos: partial.wall_nanos,
+        });
+        timings.fold_nanos = timings.fold_nanos.saturating_add(partial.fold_nanos);
+        timings.vote_nanos = timings.vote_nanos.saturating_add(partial.vote_nanos);
+        timings.pairs += usize_to_u64(partial.outcomes.len());
+        timings.pruned_pairs += partial.pruned_pairs;
+        result.counter.score_updates += partial.score_updates;
+        result.counter.pair_finalizations += usize_to_u64(partial.outcomes.len());
+        result.pairs_considered += partial.outcomes.len();
+        result.shared_values_examined += partial.shared_values;
+        result.outcomes.extend(partial.outcomes);
     }
     result.detection_time = start.elapsed();
-    (result, timings)
+    (result, timings, reports)
 }
 
 #[cfg(test)]
@@ -304,7 +570,7 @@ mod tests {
             let shard_accs = SourceAccuracies::uniform(shard.num_sources(), 0.8).unwrap();
             let counts = SharedItemCounts::build(&shard);
             let input = RoundInput::new(&shard, &shard_accs, &shard_probs, params);
-            rounds.push(collect_shard_evidence(&input, &counts, &map));
+            rounds.push(collect_shard_evidence(&input, &counts, &map).expect("consistent counts"));
         }
 
         let merged = merge_shard_rounds(rounds, &accuracies, params);
@@ -331,7 +597,7 @@ mod tests {
         let map =
             ShardIdMap { sources: global.sources().collect(), items: global.items().collect() };
         let counts = SharedItemCounts::build(&global);
-        let evidence = collect_shard_evidence(&input, &counts, &map);
+        let evidence = collect_shard_evidence(&input, &counts, &map).expect("consistent counts");
         let merged = merge_shard_rounds(vec![evidence], &accuracies, params);
         assert_eq!(merged.outcomes, baseline.outcomes);
     }
@@ -348,12 +614,117 @@ mod tests {
         let map =
             ShardIdMap { sources: global.sources().collect(), items: global.items().collect() };
         let counts = SharedItemCounts::build(&global);
-        let evidence = collect_shard_evidence(&input, &counts, &map);
+        let evidence = collect_shard_evidence(&input, &counts, &map).expect("consistent counts");
         let baseline = merge_shard_rounds(vec![evidence.clone()], &accuracies, params);
         let (timed, timings) = merge_shard_rounds_timed(vec![evidence], &accuracies, params);
         assert_eq!(timed.outcomes, baseline.outcomes);
         assert_eq!(timings.pairs, usize_to_u64(baseline.pairs_considered));
+        assert_eq!(timings.pruned_pairs, 0);
         assert!(timings.total_nanos() >= timings.fold_nanos);
+    }
+
+    /// Every parallelism produces the identical result, and the per-worker
+    /// reports account for every pair exactly once.
+    #[test]
+    fn parallel_merge_is_bit_identical_for_every_worker_count() {
+        let global = dataset(CLAIMS);
+        let params = CopyParams::paper_defaults();
+        let accuracies = SourceAccuracies::uniform(global.num_sources(), 0.8).unwrap();
+        let probabilities = ValueProbabilities::uniform_over_dataset(&global, 0.4).unwrap();
+        let input = RoundInput::new(&global, &accuracies, &probabilities, params);
+        let map =
+            ShardIdMap { sources: global.sources().collect(), items: global.items().collect() };
+        let counts = SharedItemCounts::build(&global);
+        let evidence = collect_shard_evidence(&input, &counts, &map).expect("consistent counts");
+        let (sequential, seq_timings) =
+            merge_shard_rounds_timed(vec![evidence.clone()], &accuracies, params);
+        for workers in [2usize, 3, 8, 0, usize::MAX] {
+            let (parallel, timings, reports) =
+                merge_shard_rounds_parallel(vec![evidence.clone()], &accuracies, params, workers);
+            assert_eq!(parallel.outcomes, sequential.outcomes, "{workers} workers");
+            assert_eq!(parallel.counter.score_updates, sequential.counter.score_updates);
+            assert_eq!(parallel.counter.pair_finalizations, sequential.counter.pair_finalizations);
+            assert_eq!(parallel.shared_values_examined, sequential.shared_values_examined);
+            assert_eq!(timings.pairs, seq_timings.pairs);
+            let reported: u64 = reports.iter().map(|r| r.pairs).sum();
+            assert_eq!(reported, timings.pairs, "{workers} workers");
+        }
+    }
+
+    /// Pairs whose merged evidence is empty are pruned (no outcome, no
+    /// counter contribution) identically at every parallelism.
+    #[test]
+    fn empty_evidence_pairs_are_pruned() {
+        let accuracies = SourceAccuracies::uniform(4, 0.8).unwrap();
+        let params = CopyParams::paper_defaults();
+        let empty_pair = SourcePair::new(SourceId::from_index(0), SourceId::from_index(3));
+        let mut round = ShardRoundEvidence::default();
+        round.pairs.insert(empty_pair, Vec::new());
+        let mut other = ShardRoundEvidence::default();
+        other.pairs.insert(empty_pair, Vec::new());
+        for workers in [1usize, 4] {
+            let (result, timings, reports) = merge_shard_rounds_parallel(
+                vec![round.clone(), other.clone()],
+                &accuracies,
+                params,
+                workers,
+            );
+            assert!(result.outcomes.is_empty(), "{workers} workers");
+            assert_eq!(result.pairs_considered, 0);
+            assert_eq!(result.counter.pair_finalizations, 0);
+            assert_eq!(timings.pairs, 0);
+            assert_eq!(timings.pruned_pairs, 1, "{workers} workers");
+            let pruned: u64 = reports.iter().map(|r| r.pruned_pairs).sum();
+            assert_eq!(pruned, 1);
+        }
+    }
+
+    /// Counts that disagree with the snapshot are a typed error, not a dead
+    /// round thread.
+    #[test]
+    fn mismatched_counts_are_a_typed_error() {
+        let global = dataset(CLAIMS);
+        let params = CopyParams::paper_defaults();
+        let accuracies = SourceAccuracies::uniform(global.num_sources(), 0.8).unwrap();
+        let probabilities = ValueProbabilities::uniform_over_dataset(&global, 0.4).unwrap();
+        let input = RoundInput::new(&global, &accuracies, &probabilities, params);
+        let map =
+            ShardIdMap { sources: global.sources().collect(), items: global.items().collect() };
+        // Counts captured from a *smaller* snapshot: S0/S1 share one item
+        // fewer than the dataset in `input` says.
+        let stale = dataset(&CLAIMS[..CLAIMS.len() - 4]);
+        let counts = SharedItemCounts::build(&stale);
+        let err = collect_shard_evidence(&input, &counts, &map)
+            .expect_err("racy counts/snapshot capture must surface as a typed error");
+        match err {
+            DetectError::ShardEvidenceMismatch { counted, observed, .. } => {
+                assert_ne!(counted, observed);
+            }
+            other => panic!("expected ShardEvidenceMismatch, got {other:?}"),
+        }
+    }
+
+    /// The pair partition is stable (pinned values) and total.
+    #[test]
+    fn pair_partition_is_stable_and_total() {
+        let pair = SourcePair::new(SourceId::from_index(0), SourceId::from_index(1));
+        for workers in 1..=9 {
+            assert!(pair_partition(pair, workers) < workers);
+        }
+        assert_eq!(pair_partition(pair, 1), 0);
+        // Pinned: the partition feeds deterministic per-worker accounting.
+        let other = SourcePair::new(SourceId::from_index(2), SourceId::from_index(5));
+        assert_eq!(pair_partition(pair, 8), pair_partition(pair, 8));
+        let spread: std::collections::HashSet<usize> = (0..64)
+            .map(|i| {
+                pair_partition(
+                    SourcePair::new(SourceId::from_index(i), SourceId::from_index(i + 1)),
+                    8,
+                )
+            })
+            .collect();
+        assert!(spread.len() > 1, "the hash spreads pairs over workers");
+        let _ = other;
     }
 
     #[test]

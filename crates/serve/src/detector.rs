@@ -3,7 +3,9 @@
 
 use crate::shard::{ShardMaps, ShardedStore};
 use copydet_bayes::{SourceAccuracies, ValueProbabilities};
-use copydet_detect::{collect_shard_evidence, merge_shard_rounds_timed, DetectionResult};
+use copydet_detect::{
+    collect_shard_evidence, merge_shard_rounds_parallel, DetectError, DetectionResult,
+};
 use copydet_fusion::{vote_group_probabilities, VoteConfig};
 use copydet_model::codec::usize_to_u64;
 use copydet_model::{Dataset, ItemValueGroup};
@@ -44,7 +46,11 @@ fn round_nanos() -> &'static Arc<Histogram> {
 ///    shard's counts say share an item are visited.
 /// 3. **Merge** — per-shard evidence is folded into global pairwise scores
 ///    in global item order and the posterior of Eq. 2 decides
-///    ([`merge_shard_rounds`]).
+///    ([`merge_shard_rounds_parallel`]). Pairs are partitioned by a stable
+///    hash across merge workers (see
+///    [`with_merge_parallelism`](Self::with_merge_parallelism)); the
+///    parallel merge is bit-identical to the sequential one at every
+///    worker count.
 ///
 /// Shards are item-disjoint, so the merged result is **bit-identical** to
 /// running the exact PAIRWISE baseline on a single store fed the same
@@ -59,6 +65,7 @@ fn round_nanos() -> &'static Arc<Histogram> {
 pub struct ShardedDetector {
     config: LiveConfig,
     rounds: usize,
+    merge_parallelism: usize,
 }
 
 impl ShardedDetector {
@@ -71,7 +78,33 @@ impl ShardedDetector {
     /// `initial_accuracy` drive the bootstrap; the incremental settings are
     /// unused — every sharded round is exact).
     pub fn with_config(config: LiveConfig) -> Self {
-        Self { config, rounds: 0 }
+        Self { config, rounds: 0, merge_parallelism: 0 }
+    }
+
+    /// Sets the number of cross-shard merge workers. `0` (the default)
+    /// auto-selects: the `COPYDET_MERGE_THREADS` environment variable if set
+    /// to a positive integer, else [`std::thread::available_parallelism`].
+    /// The merge result is bit-identical at every setting — this knob trades
+    /// wall time only.
+    pub fn with_merge_parallelism(mut self, workers: usize) -> Self {
+        self.merge_parallelism = workers;
+        self
+    }
+
+    /// The merge worker count a round would use right now (resolves the
+    /// auto setting; see [`with_merge_parallelism`](Self::with_merge_parallelism)).
+    pub fn merge_parallelism(&self) -> usize {
+        if self.merge_parallelism > 0 {
+            return self.merge_parallelism;
+        }
+        if let Some(n) = std::env::var("COPYDET_MERGE_THREADS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|n| *n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism().map_or(1, usize::from)
     }
 
     /// Number of detection rounds run so far.
@@ -82,7 +115,14 @@ impl ShardedDetector {
     /// One detection round over the store's current state. Snapshots are
     /// captured per shard (each under its own lock); the scans and the
     /// merge run entirely unlocked.
-    pub fn detect_round(&mut self, store: &ShardedStore) -> DetectionResult {
+    ///
+    /// # Errors
+    /// [`DetectError::ShardEvidenceMismatch`] if a shard's counts disagree
+    /// with its snapshot — impossible for captures taken by this method
+    /// (each shard's pair is captured under one lock), so an error here
+    /// indicates store corruption; the round fails instead of panicking the
+    /// serving thread.
+    pub fn detect_round(&mut self, store: &ShardedStore) -> Result<DetectionResult, DetectError> {
         let trace = RoundTraceBuilder::new("sharded_round");
         let capture_span = Span::start();
         let (captures, capture_nanos) = store.capture_shards_traced();
@@ -95,6 +135,11 @@ impl ShardedDetector {
     /// tests can run the round and an independent baseline over the *same*
     /// frozen state while writers keep mutating the store. The round's trace
     /// has no `capture` stages (the capture happened outside this call).
+    ///
+    /// # Errors
+    /// [`DetectError::ShardEvidenceMismatch`] if a capture's counts disagree
+    /// with its snapshot — e.g. a counts handle captured at a different time
+    /// than the snapshot it is paired with.
     pub fn detect_captured(
         &mut self,
         store: &ShardedStore,
@@ -102,7 +147,7 @@ impl ShardedDetector {
             copydet_store::StoreSnapshot,
             std::sync::Arc<copydet_index::SharedItemCounts>,
         )],
-    ) -> DetectionResult {
+    ) -> Result<DetectionResult, DetectError> {
         let trace = RoundTraceBuilder::new("sharded_round");
         self.detect_traced(store, captures, trace, None)
     }
@@ -120,7 +165,7 @@ impl ShardedDetector {
         )],
         mut trace: RoundTraceBuilder,
         capture: Option<(u64, &[u64])>,
-    ) -> DetectionResult {
+    ) -> Result<DetectionResult, DetectError> {
         if let Some((total, per_shard)) = capture {
             trace.stage("capture", total);
             for (i, nanos) in per_shard.iter().enumerate() {
@@ -139,7 +184,8 @@ impl ShardedDetector {
         let params = self.config.params;
         trace.stage("prepare", prepare_span.elapsed_nanos());
         let fanout_span = Span::start();
-        let scans: Vec<(copydet_detect::ShardRoundEvidence, u64)> = std::thread::scope(|scope| {
+        type ScanResult = (Result<copydet_detect::ShardRoundEvidence, DetectError>, u64);
+        let scans: Vec<ScanResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = captures
                 .iter()
                 .zip(&maps)
@@ -183,20 +229,29 @@ impl ShardedDetector {
         trace.stage("fanout", fanout_span.elapsed_nanos());
         let mut evidence = Vec::with_capacity(scans.len());
         for (i, (shard_evidence, nanos)) in scans.into_iter().enumerate() {
+            let shard_evidence = shard_evidence?;
             let observations = usize_to_u64(shard_evidence.num_observations());
             trace.stage_count(&format!("shard{i}.scan"), nanos, observations);
             evidence.push(shard_evidence);
         }
         self.rounds += 1;
-        let (result, timings) = merge_shard_rounds_timed(evidence, &accuracies, self.config.params);
+        let workers = self.merge_parallelism();
+        let (result, timings, reports) =
+            merge_shard_rounds_parallel(evidence, &accuracies, self.config.params, workers);
         trace.stage("merge.collect", timings.collect_nanos);
         trace.stage("merge.fold", timings.fold_nanos);
         trace.stage_count("merge.vote", timings.vote_nanos, timings.pairs);
+        // Named like the `shard<i>.<stage>` spans (not under the `merge.`
+        // prefix) so prefix sums over `merge.` keep tiling the merge wall
+        // time — worker wall times overlap the fold/vote stages.
+        for (w, report) in reports.iter().enumerate() {
+            trace.stage_count(&format!("worker{w}.merge"), report.wall_nanos, report.pairs);
+        }
         let finished = trace.finish();
         rounds_total().inc();
         round_nanos().record(finished.total_nanos);
         trace_ring().push(finished);
-        result
+        Ok(result)
     }
 }
 
@@ -275,7 +330,7 @@ mod tests {
             let store = ShardedStore::new(shards);
             store.ingest_batch(claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())));
             let mut detector = ShardedDetector::new();
-            let got = detector.detect_round(&store);
+            let got = detector.detect_round(&store).expect("consistent capture");
             assert_eq!(detector.rounds(), 1);
             assert_eq!(got.outcomes.len(), expected.outcomes.len(), "{shards} shard(s)");
             for (pair, outcome) in &expected.outcomes {
@@ -289,5 +344,51 @@ mod tests {
             let copying: Vec<SourcePair> = got.copying_pairs().collect();
             assert!(!copying.is_empty(), "{shards} shard(s): planted copiers detected");
         }
+    }
+
+    /// The merge-parallelism knob changes wall time only: every worker
+    /// count returns the identical round result.
+    #[test]
+    fn merge_parallelism_is_observable_and_bit_stable() {
+        let claims = stream();
+        let store = ShardedStore::new(2);
+        store.ingest_batch(claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())));
+        let baseline = ShardedDetector::new()
+            .with_merge_parallelism(1)
+            .detect_round(&store)
+            .expect("consistent capture");
+        for workers in [2usize, 4, 8] {
+            let mut detector = ShardedDetector::new().with_merge_parallelism(workers);
+            assert_eq!(detector.merge_parallelism(), workers);
+            let got = detector.detect_round(&store).expect("consistent capture");
+            assert_eq!(got.outcomes, baseline.outcomes, "{workers} merge workers");
+        }
+    }
+
+    /// A counts handle captured at a different time than the snapshot it is
+    /// paired with fails the round with a typed error instead of killing the
+    /// round thread ([`DetectError::ShardEvidenceMismatch`]).
+    #[test]
+    fn stale_counts_fail_the_round_with_a_typed_error() {
+        let claims = stream();
+        let store = ShardedStore::new(1);
+        store.ingest_batch(claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())));
+        let stale = store.capture_shards();
+        // More overlapping claims: the shared-item counts move, the stale
+        // counts handle does not.
+        store.ingest_batch([("S0", "D100", "w"), ("S1", "D100", "w")]);
+        let fresh = store.capture_shards();
+        let mixed: Vec<_> = fresh
+            .iter()
+            .zip(&stale)
+            .map(|((snapshot, _), (_, counts))| (snapshot.clone(), counts.clone()))
+            .collect();
+        let err = ShardedDetector::new()
+            .detect_captured(&store, &mixed)
+            .expect_err("stale counts must surface as a typed error");
+        assert!(
+            matches!(err, copydet_detect::DetectError::ShardEvidenceMismatch { .. }),
+            "unexpected error: {err:?}"
+        );
     }
 }

@@ -247,6 +247,14 @@ pub enum ProtocolError {
         /// The unresolvable dense source index.
         index: usize,
     },
+    /// The detection round itself failed (e.g. a shard's counts disagreed
+    /// with its snapshot). Carries the rendered
+    /// [`DetectError`](copydet_detect::DetectError) — a recoverable
+    /// per-request failure, not a dead round thread.
+    Detect {
+        /// The rendered detection error.
+        message: String,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -273,6 +281,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::UnknownSource { index } => {
                 write!(f, "internal error: source index {index} has no registered name")
+            }
+            ProtocolError::Detect { message } => {
+                write!(f, "DETECT round failed: {message}")
             }
         }
     }
@@ -466,6 +477,26 @@ impl ServerHandle {
 /// ingest plus occasional detection rounds, where a thread per connection
 /// is the simplest correct concurrency model.
 pub fn serve(store: ShardedStore, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    serve_with_config(store, addr, FrontendConfig::default())
+}
+
+/// Serving knobs for [`serve_with_config`]. All settings trade wall time or
+/// resource use only — none changes a single bit of any response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendConfig {
+    /// Cross-shard merge workers per DETECT round. `0` (the default)
+    /// auto-selects: the `COPYDET_MERGE_THREADS` environment variable if
+    /// set, else [`std::thread::available_parallelism`]. See
+    /// [`ShardedDetector::with_merge_parallelism`].
+    pub merge_parallelism: usize,
+}
+
+/// [`serve`] with explicit [`FrontendConfig`] knobs.
+pub fn serve_with_config(
+    store: ShardedStore,
+    addr: impl ToSocketAddrs,
+    config: FrontendConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -486,8 +517,15 @@ pub fn serve(store: ShardedStore, addr: impl ToSocketAddrs) -> io::Result<Server
             let handler_connections = Arc::clone(&accept_connections);
             let Ok(interrupt) = stream.try_clone() else { continue };
             let handler = std::thread::spawn(move || {
-                let _ =
-                    handle_connection(stream, store, stats, stop, server_addr, handler_connections);
+                let _ = handle_connection(
+                    stream,
+                    store,
+                    stats,
+                    stop,
+                    server_addr,
+                    handler_connections,
+                    config,
+                );
             });
             let mut registry = accept_connections.lock();
             // Reap finished handlers so a long-lived server's registry holds
@@ -507,6 +545,7 @@ fn handle_connection(
     stop: Arc<AtomicBool>,
     server_addr: SocketAddr,
     connections: Connections,
+    config: FrontendConfig,
 ) -> io::Result<()> {
     let _live = LiveConnection::open();
     while let Some((kind, payload)) = read_frame(&mut stream)? {
@@ -517,7 +556,7 @@ fn handle_connection(
         let response = match kind {
             REQ_INGEST => handle_ingest(&store, &payload),
             REQ_STATS => Ok(handle_stats(&store, &stats)),
-            REQ_DETECT => handle_detect(&store),
+            REQ_DETECT => handle_detect(&store, config),
             REQ_METRICS => handle_metrics(),
             REQ_TRACE => handle_trace(&payload),
             REQ_SHUTDOWN => {
@@ -655,9 +694,12 @@ fn handle_trace(payload: &[u8]) -> Result<Vec<u8>, ProtocolError> {
 }
 
 /// DETECT: run a sharded round and encode the copying pairs by name.
-fn handle_detect(store: &ShardedStore) -> Result<Vec<u8>, ProtocolError> {
+fn handle_detect(store: &ShardedStore, config: FrontendConfig) -> Result<Vec<u8>, ProtocolError> {
     const REQUEST: &str = "DETECT";
-    let result = ShardedDetector::new().detect_round(store);
+    let result = ShardedDetector::new()
+        .with_merge_parallelism(config.merge_parallelism)
+        .detect_round(store)
+        .map_err(|e| ProtocolError::Detect { message: e.to_string() })?;
     // Pair ids live in the global registry's id space; the read-locked name
     // list resolves them in O(sources) without stalling concurrent ingest
     // batches.

@@ -42,7 +42,7 @@
 //!     ("bob", "AZ", "Phoenix"),
 //! ]);
 //! let mut detector = ShardedDetector::new();
-//! let result = detector.detect_round(&store);
+//! let result = detector.detect_round(&store).expect("capture is consistent");
 //! assert_eq!(result.algorithm, "SHARDED");
 //! ```
 //!
@@ -56,6 +56,8 @@
 mod detector;
 #[warn(clippy::cast_possible_truncation, clippy::indexing_slicing)]
 pub mod frontend;
+#[warn(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+mod registry_log;
 mod shard;
 
 pub use detector::ShardedDetector;

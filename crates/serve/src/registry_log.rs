@@ -1,0 +1,264 @@
+//! The `REGISTRY` file: an append-only arrival-order log of the global name
+//! registry, kept next to the `SHARDS` pin in a durable fleet root.
+//!
+//! PR 5's shard-major registry recovery rebuilds deterministic global ids on
+//! restart, but not necessarily the *original arrival order* — and the
+//! cross-shard merge folds floating-point evidence in global id order, so a
+//! reordered registry can move the last ulp of a posterior. Persisting the
+//! arrival order makes restarts **bit-stable**: a reopened fleet replays
+//! this log before looking at any shard, so every name gets its original
+//! global id back and DETECT responses are byte-identical across restarts
+//! (asserted in `tests/registry_restart.rs`).
+//!
+//! ## Record format
+//!
+//! ```text
+//! [kind: u8][len: u32 LE][name: len UTF-8 bytes][crc32(kind..name): u32 LE]
+//! ```
+//!
+//! `kind` tags the table (0 = source, 1 = item, 2 = value). The trailing
+//! CRC makes a torn tail detectable: replay keeps the longest intact record
+//! prefix and truncates the rest (a crash happened mid-append; the names a
+//! torn record carried cannot have reached any shard WAL, because appends
+//! are fsynced under the registry lock *before* the batch touches a shard)
+//! and re-appends from there. Records are not individually addressable
+//! after a bad one (boundaries are data-dependent), so a checksum failure
+//! anywhere ends the intact prefix; names lost that way are re-interned
+//! shard-major by the open-time rebuild — detection stays exact, only the
+//! pre-crash arrival order degrades. A structurally intact record with an
+//! *unknown kind*, by contrast, is unambiguous corruption and refuses the
+//! open.
+//!
+//! The log is written under the existing rank-10 registry write lock — no
+//! new lock, no rank-table change: batches that only reference known names
+//! (the steady state) never take the write lock and never touch the log.
+
+use copydet_model::codec::{self, crc32_ieee, CodecError, Reader};
+use copydet_store::StoreIoError;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Name of the registry log inside a durable sharded-store root.
+pub(crate) const REGISTRY_FILE: &str = "REGISTRY";
+
+/// Byte bound on the `REGISTRY` log (1 GiB). The log holds every distinct
+/// name once (~tens of bytes each); a file near this bound is corruption,
+/// rejected before any allocation.
+const MAX_REGISTRY_LOG_LEN: u64 = 1 << 30;
+
+/// Which global table a logged name belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NameKind {
+    /// A source name.
+    Source,
+    /// A data-item name.
+    Item,
+    /// A value string.
+    Value,
+}
+
+impl NameKind {
+    fn tag(self) -> u8 {
+        match self {
+            NameKind::Source => 0,
+            NameKind::Item => 1,
+            NameKind::Value => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(NameKind::Source),
+            1 => Some(NameKind::Item),
+            2 => Some(NameKind::Value),
+            _ => None,
+        }
+    }
+}
+
+/// An open handle on the arrival-order log, appending records durably.
+#[derive(Debug)]
+pub(crate) struct RegistryLog {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl RegistryLog {
+    /// Opens (creating if absent) the `REGISTRY` log under `root` and
+    /// replays the longest intact record prefix, truncating anything after
+    /// it (a torn tail from a crashed append). An intact record with an
+    /// unknown kind is [`StoreIoError::Corrupt`].
+    pub(crate) fn open_and_replay(
+        root: &Path,
+    ) -> Result<(Self, Vec<(NameKind, String)>), StoreIoError> {
+        let path = root.join(REGISTRY_FILE);
+        let bytes = copydet_store::read_bounded(&path, MAX_REGISTRY_LOG_LEN)?.unwrap_or_default();
+        let (records, intact_len) = Self::parse(&path, &bytes)?;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreIoError::io(&path, &e))?;
+        if intact_len < bytes.len() {
+            // Drop the torn tail so the next append starts on a record
+            // boundary. (Append position follows the new length.)
+            file.set_len(codec::usize_to_u64(intact_len))
+                .map_err(|e| StoreIoError::io(&path, &e))?;
+            file.sync_data().map_err(|e| StoreIoError::io(&path, &e))?;
+        }
+        Ok((Self { path, file }, records))
+    }
+
+    /// Parses `bytes` into records, returning them plus the byte length of
+    /// the intact prefix (shorter than `bytes.len()` only for a torn tail).
+    fn parse(path: &Path, bytes: &[u8]) -> Result<(Vec<(NameKind, String)>, usize), StoreIoError> {
+        let mut reader = Reader::new(bytes);
+        let mut records = Vec::new();
+        while !reader.is_empty() {
+            let start = reader.pos();
+            let parsed = (|r: &mut Reader<'_>| -> Result<(u8, String), CodecError> {
+                let tag = r.u8()?;
+                let name = r.string()?;
+                let body_end = r.pos();
+                let stored = r.u32()?;
+                let computed = bytes
+                    .get(start..body_end)
+                    .map(crc32_ieee)
+                    .ok_or(CodecError::Truncated { needed: body_end, have: bytes.len() })?;
+                if stored != computed {
+                    // Reported as a truncation so a torn final record is
+                    // healed; mid-file it is rejected below either way.
+                    return Err(CodecError::Truncated { needed: 4, have: 0 });
+                }
+                Ok((tag, name))
+            })(&mut reader);
+            match parsed {
+                Ok((tag, name)) => {
+                    let kind = NameKind::from_tag(tag).ok_or_else(|| StoreIoError::Corrupt {
+                        path: path.to_path_buf(),
+                        detail: format!(
+                            "registry log record at offset {start} has unknown kind {tag:#04x}"
+                        ),
+                    })?;
+                    records.push((kind, name));
+                }
+                // An unreadable record that reaches the end of the file is a
+                // torn tail from a crashed append: truncate and move on.
+                Err(_) => return Ok((records, start)),
+            }
+        }
+        Ok((records, bytes.len()))
+    }
+
+    /// Appends `records` and fsyncs. Called under the registry write lock,
+    /// *before* the batch that introduced these names reaches any shard —
+    /// so a crash can never leave durable claims whose names are missing
+    /// from the log. New names are rare in the steady state, so the
+    /// per-append fsync is off the hot path.
+    pub(crate) fn append(&mut self, records: &[(NameKind, String)]) -> Result<(), StoreIoError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut out = Vec::new();
+        for (kind, name) in records {
+            let start = out.len();
+            codec::put_u8(&mut out, kind.tag());
+            codec::put_str(&mut out, name).map_err(|e| StoreIoError::Corrupt {
+                path: self.path.clone(),
+                detail: format!("unloggable registry name: {e}"),
+            })?;
+            let crc = out.get(start..).map(crc32_ieee).unwrap_or_default();
+            codec::put_u32(&mut out, crc);
+        }
+        self.file.write_all(&out).map_err(|e| StoreIoError::io(&self.path, &e))?;
+        self.file.sync_data().map_err(|e| StoreIoError::io(&self.path, &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests build corrupt byte images by hand; a panic here is a test
+    // failure, not a serving-path hazard.
+    #![allow(clippy::indexing_slicing)]
+
+    use super::*;
+
+    fn scratch(label: &str) -> PathBuf {
+        let root = std::env::temp_dir()
+            .join(format!("copydet_registry_log_{label}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create scratch dir");
+        root
+    }
+
+    #[test]
+    fn roundtrip_preserves_arrival_order() {
+        let root = scratch("roundtrip");
+        let records = vec![
+            (NameKind::Item, "NJ".to_owned()),
+            (NameKind::Source, "alice".to_owned()),
+            (NameKind::Value, "Trenton".to_owned()),
+            (NameKind::Source, "bob".to_owned()),
+        ];
+        {
+            let (mut log, replayed) = RegistryLog::open_and_replay(&root).expect("open fresh");
+            assert!(replayed.is_empty());
+            log.append(&records).expect("append");
+        }
+        let (_, replayed) = RegistryLog::open_and_replay(&root).expect("reopen");
+        assert_eq!(replayed, records);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let root = scratch("torn");
+        {
+            let (mut log, _) = RegistryLog::open_and_replay(&root).expect("open fresh");
+            log.append(&[(NameKind::Source, "alice".to_owned())]).expect("append");
+        }
+        // Simulate a crash mid-append: half a record at the tail.
+        let path = root.join(REGISTRY_FILE);
+        let mut bytes = std::fs::read(&path).expect("read log");
+        let intact = bytes.len();
+        bytes.extend_from_slice(&[NameKind::Item.tag(), 200, 0, 0]);
+        std::fs::write(&path, &bytes).expect("write torn log");
+
+        let (mut log, replayed) = RegistryLog::open_and_replay(&root).expect("heal torn tail");
+        assert_eq!(replayed, vec![(NameKind::Source, "alice".to_owned())]);
+        log.append(&[(NameKind::Item, "NJ".to_owned())]).expect("append after heal");
+        drop(log);
+        assert!(std::fs::metadata(&path).expect("stat").len() > codec::usize_to_u64(intact));
+        let (_, replayed) = RegistryLog::open_and_replay(&root).expect("reopen");
+        assert_eq!(
+            replayed,
+            vec![(NameKind::Source, "alice".to_owned()), (NameKind::Item, "NJ".to_owned())]
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unknown_kind_mid_file_refuses_the_open() {
+        let root = scratch("badkind");
+        let path = root.join(REGISTRY_FILE);
+        // A structurally valid record (good CRC) with an unassigned kind,
+        // followed by a valid one: not a torn tail, refused.
+        let mut bytes = Vec::new();
+        let start = bytes.len();
+        codec::put_u8(&mut bytes, 9);
+        codec::put_str(&mut bytes, "ghost").expect("short name");
+        let crc = crc32_ieee(&bytes[start..]);
+        codec::put_u32(&mut bytes, crc);
+        let start = bytes.len();
+        codec::put_u8(&mut bytes, 0);
+        codec::put_str(&mut bytes, "alice").expect("short name");
+        let crc = crc32_ieee(&bytes[start..]);
+        codec::put_u32(&mut bytes, crc);
+        std::fs::write(&path, &bytes).expect("write log");
+
+        let err = RegistryLog::open_and_replay(&root).expect_err("unknown kind is corruption");
+        assert!(matches!(err, StoreIoError::Corrupt { .. }), "unexpected error: {err:?}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,6 +1,7 @@
 //! The sharded store: item-partitioned [`SharedClaimStore`] shards behind a
 //! global name registry, plus the [`Router`] that batches claims per shard.
 
+use crate::registry_log::{NameKind, RegistryLog};
 use copydet_index::SharedItemCounts;
 use copydet_model::sync::RankedRwLock;
 use copydet_model::{ItemId, NameTable, SourceId, SourcePair};
@@ -60,11 +61,61 @@ fn new_global_registry() -> Arc<RankedRwLock<GlobalTables>> {
 /// claim reaches its shard, a fresh single store fed the same claim stream
 /// assigns identical ids — the property the bit-identical shard-equivalence
 /// tests rest on.
+///
+/// Durable fleets additionally log every first-seen name to the `REGISTRY`
+/// file ([`RegistryLog`]) under this same write lock, so a restart replays
+/// the exact arrival order and reassigns identical global ids — which is
+/// what makes DETECT responses byte-identical across restarts.
 #[derive(Debug, Default)]
 struct GlobalTables {
     sources: NameTable,
     items: NameTable,
     values: NameTable,
+    /// Arrival-order log of a durable fleet; `None` for in-memory stores.
+    log: Option<RegistryLog>,
+    /// Names interned since the last [`flush_log`](Self::flush_log), in
+    /// arrival order, awaiting one batched durable append.
+    pending: Vec<(NameKind, String)>,
+    /// First log-append failure, sticky — surfaced via
+    /// [`ShardedStore::io_error`] like any shard persistence failure.
+    log_error: Option<StoreIoError>,
+}
+
+impl GlobalTables {
+    /// Interns `name` into the table `kind` selects, buffering it for the
+    /// log if it is new and a [`RegistryLog`] is attached. The caller must
+    /// [`flush_log`](Self::flush_log) before releasing the write lock.
+    fn intern_logged(&mut self, kind: NameKind, name: &str) -> usize {
+        let table = match kind {
+            NameKind::Source => &mut self.sources,
+            NameKind::Item => &mut self.items,
+            NameKind::Value => &mut self.values,
+        };
+        let before = table.len();
+        let id = table.intern(name);
+        let is_new = table.len() > before;
+        if is_new && self.log.is_some() {
+            self.pending.push((kind, name.to_owned()));
+        }
+        id
+    }
+
+    /// Durably appends (one write + fsync) everything
+    /// [`intern_logged`](Self::intern_logged) buffered. A failure is
+    /// recorded sticky (first failure wins), never panicked: the in-memory
+    /// registry stays usable, the durability loss is reported through
+    /// [`ShardedStore::io_error`].
+    fn flush_log(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        if let Some(log) = &mut self.log {
+            if let Err(e) = log.append(&pending) {
+                self.log_error.get_or_insert(e);
+            }
+        }
+    }
 }
 
 /// Local-to-global id translation for one shard snapshot, extending the
@@ -141,16 +192,19 @@ impl ShardedStore {
     /// different count is refused, because the item partitioning (and hence
     /// which shard holds which claims) depends on it.
     ///
-    /// On recovery the global name registry is rebuilt shard-major (shard
-    /// 0's names first, in local id order, then shard 1's new ones, …). The
-    /// rebuilt global ids are deterministic but need not equal the original
-    /// arrival order, which a restart cannot reconstruct; detection results
-    /// remain exact — only the floating-point fold order (and therefore the
-    /// last-ulp rounding) can differ from the pre-restart instance.
+    /// On recovery the global name registry replays the `REGISTRY`
+    /// arrival-order log first (see [`crate::registry_log`]), so every name
+    /// gets its pre-restart global id back and detection results — down to
+    /// the last-ulp floating-point rounding of every posterior — are
+    /// **byte-identical** across restarts. Names present in some shard but
+    /// missing from the log (a root from before the log existed, or a log
+    /// tail lost to a crash) are then re-interned shard-major and appended,
+    /// repairing the log for subsequent restarts.
     ///
     /// # Errors
     /// Any shard's [`StoreIoError`] propagates, as does a shard-count
-    /// mismatch (reported as [`StoreIoError::Corrupt`] on the root).
+    /// mismatch or an unreadable `REGISTRY` log (both reported as
+    /// [`StoreIoError::Corrupt`]).
     pub fn open_with_config(
         root: impl AsRef<Path>,
         num_shards: usize,
@@ -160,6 +214,7 @@ impl ShardedStore {
         let root = root.as_ref();
         std::fs::create_dir_all(root).map_err(|e| StoreIoError::io(root, &e))?;
         Self::pin_shard_count(root, num_shards)?;
+        let (log, replayed) = RegistryLog::open_and_replay(root)?;
         let mut shards = Vec::with_capacity(num_shards);
         for i in 0..num_shards {
             shards.push(SharedClaimStore::open_with_config(
@@ -168,7 +223,21 @@ impl ShardedStore {
             )?);
         }
         let store = Self { shards: Arc::new(shards), global: new_global_registry() };
-        store.rebuild_global_registry();
+        {
+            // Replay the arrival order before looking at any shard: these
+            // records are already durable, so they intern without re-logging.
+            let mut global = store.global.write();
+            for (kind, name) in &replayed {
+                let table = match kind {
+                    NameKind::Source => &mut global.sources,
+                    NameKind::Item => &mut global.items,
+                    NameKind::Value => &mut global.values,
+                };
+                table.intern(name);
+            }
+            global.log = Some(log);
+        }
+        store.rebuild_global_registry()?;
         Ok(store)
     }
 
@@ -241,21 +310,33 @@ impl ShardedStore {
     }
 
     /// Re-interns every recovered shard's names into the global registry,
-    /// shard-major. Used at open; a no-op for fresh directories.
-    fn rebuild_global_registry(&self) {
+    /// shard-major. Used at open, after the `REGISTRY` replay: the steady
+    /// state re-interns existing names (no-ops); anything genuinely new
+    /// means the log is behind the shards (a legacy root, or a tail lost to
+    /// a crash) and gets appended so the *next* restart replays it.
+    ///
+    /// # Errors
+    /// The log append's [`StoreIoError`], if the repair could not be made
+    /// durable.
+    fn rebuild_global_registry(&self) -> Result<(), StoreIoError> {
         let mut global = self.global.write();
         for shard in self.shards.iter() {
             let snapshot = shard.snapshot();
             let ds = &snapshot.dataset;
             for s in ds.sources() {
-                global.sources.intern(ds.source_name(s));
+                global.intern_logged(NameKind::Source, ds.source_name(s));
             }
             for d in ds.items() {
-                global.items.intern(ds.item_name(d));
+                global.intern_logged(NameKind::Item, ds.item_name(d));
             }
             for (_, v) in ds.values_interner().iter() {
-                global.values.intern(v);
+                global.intern_logged(NameKind::Value, v);
             }
+        }
+        global.flush_log();
+        match global.log_error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -324,10 +405,14 @@ impl ShardedStore {
         if !all_known {
             let mut global = self.global.write();
             for &(s, d, v) in &claims {
-                global.sources.intern(s);
-                global.items.intern(d);
-                global.values.intern(v);
+                global.intern_logged(NameKind::Source, s);
+                global.intern_logged(NameKind::Item, d);
+                global.intern_logged(NameKind::Value, v);
             }
+            // Made durable before the batch reaches any shard WAL, so a
+            // crash can never leave durable claims whose names are missing
+            // from the arrival-order log.
+            global.flush_log();
         }
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (idx, &(_, d, _)) in claims.iter().enumerate() {
@@ -407,19 +492,31 @@ impl ShardedStore {
             }
         }
         let mut global = self.global.write();
-        ShardMaps {
+        let maps = ShardMaps {
             ids: copydet_detect::ShardIdMap {
                 sources: ds
                     .sources()
-                    .map(|s| SourceId::from_index(global.sources.intern(ds.source_name(s))))
+                    .map(|s| {
+                        SourceId::from_index(
+                            global.intern_logged(NameKind::Source, ds.source_name(s)),
+                        )
+                    })
                     .collect(),
                 items: ds
                     .items()
-                    .map(|d| ItemId::from_index(global.items.intern(ds.item_name(d))))
+                    .map(|d| {
+                        ItemId::from_index(global.intern_logged(NameKind::Item, ds.item_name(d)))
+                    })
                     .collect(),
             },
-            values: ds.values_interner().iter().map(|(_, v)| global.values.intern(v)).collect(),
-        }
+            values: ds
+                .values_interner()
+                .iter()
+                .map(|(_, v)| global.intern_logged(NameKind::Value, v))
+                .collect(),
+        };
+        global.flush_log();
+        maps
     }
 
     /// Merges every shard's incrementally-maintained shared-item counts into
@@ -465,8 +562,13 @@ impl ShardedStore {
         Ok(())
     }
 
-    /// The first persistence failure of any shard, if any.
+    /// The first persistence failure of the fleet, if any: a registry-log
+    /// append failure (the arrival order could not be made durable) wins
+    /// over shard failures, since it happened first in the ingest path.
     pub fn io_error(&self) -> Option<StoreIoError> {
+        if let Some(e) = self.global.read().log_error.clone() {
+            return Some(e);
+        }
         self.shards.iter().find_map(SharedClaimStore::io_error)
     }
 

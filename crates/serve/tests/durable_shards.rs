@@ -49,7 +49,7 @@ fn restart_recovers_every_shard_and_detection_agrees() {
         store.sync().expect("flush every shard's WAL");
         assert!(store.stats().durable);
         assert!(store.io_error().is_none());
-        let result = ShardedDetector::new().detect_round(&store);
+        let result = ShardedDetector::new().detect_round(&store).expect("consistent capture");
         assert!(result.num_copying_pairs() >= 1);
         (store.num_claims(), result.num_copying_pairs())
     }; // all shard handles dropped: directory locks release, WALs flush
@@ -61,7 +61,7 @@ fn restart_recovers_every_shard_and_detection_agrees() {
 
     let recovered = ShardedStore::open(&scratch.0, 3).expect("reopen");
     assert_eq!(recovered.num_claims(), before.0);
-    let result = ShardedDetector::new().detect_round(&recovered);
+    let result = ShardedDetector::new().detect_round(&recovered).expect("consistent capture");
     assert_eq!(
         result.num_copying_pairs(),
         before.1,

@@ -50,7 +50,7 @@ fn ingest_stats_detect_shutdown_roundtrip() {
 
     // A detection round over the wire equals an in-process sharded round.
     let detection = client.detect().expect("detect");
-    let expected = ShardedDetector::new().detect_round(&store);
+    let expected = ShardedDetector::new().detect_round(&store).expect("consistent capture");
     assert_eq!(detection.pairs_considered, expected.pairs_considered as u64);
     assert_eq!(detection.copying.len(), expected.num_copying_pairs());
     let planted = detection

@@ -9,11 +9,14 @@
 //! release-mode CI step.
 
 use copydet_bayes::{CopyParams, SourceAccuracies};
-use copydet_detect::{pairwise_detection, DetectionResult, RoundInput};
+use copydet_detect::{
+    collect_shard_evidence, merge_shard_rounds_parallel, merge_shard_rounds_timed,
+    pairwise_detection, DetectionResult, RoundInput, ShardRoundEvidence,
+};
 use copydet_fusion::{value_probabilities, VoteConfig};
 use copydet_index::SharedItemCounts;
-use copydet_model::{Dataset, DatasetBuilder};
-use copydet_serve::{Router, ShardedDetector, ShardedStore};
+use copydet_model::{Dataset, DatasetBuilder, SourceId, SourcePair};
+use copydet_serve::{LiveConfig, Router, ShardedDetector, ShardedStore};
 use proptest::prelude::*;
 
 type Op = (u8, u8, u8);
@@ -54,7 +57,7 @@ fn assert_equivalence(ops: &[Op], shards: usize, batch: usize) {
     router.flush();
 
     let expected = baseline(ops);
-    let got = ShardedDetector::new().detect_round(&store);
+    let got = ShardedDetector::new().detect_round(&store).expect("consistent capture");
     assert_eq!(
         got.outcomes.len(),
         expected.outcomes.len(),
@@ -127,6 +130,71 @@ proptest! {
         assert_equivalence(&ops, shards, batch);
     }
 
+    /// The parallel cross-shard merge is bit-identical to the sequential
+    /// one — outcomes, counters and timing totals — for every worker count
+    /// 1..=8 over 1..=4 shards, including the pruning of hand-injected
+    /// pairs whose merged evidence is empty in every shard (the one shape
+    /// `collect_shard_evidence` itself never emits).
+    #[test]
+    fn parallel_merge_is_bit_identical_to_sequential(
+        ops in prop::collection::vec((0u8..8, 0u8..10, 0u8..4), 1..80),
+        shards in 1usize..=4,
+        inject_empty in any::<bool>(),
+    ) {
+        let store = ShardedStore::new(shards);
+        for op in &ops {
+            let (s, d, v) = claim_strings(op);
+            store.ingest(&s, &d, &v);
+        }
+        let captures = store.capture_shards();
+        let maps: Vec<_> = captures.iter().map(|(s, _)| store.maps_for(s)).collect();
+        let live = copydet_store::LiveDetector::with_config(LiveConfig::default());
+        let mut evidence: Vec<ShardRoundEvidence> = Vec::new();
+        for ((snapshot, counts), map) in captures.iter().zip(&maps) {
+            let input = live.prepare(snapshot);
+            evidence.push(
+                collect_shard_evidence(&input.as_round_input(), counts, &map.ids)
+                    .expect("consistent capture"),
+            );
+        }
+        if inject_empty {
+            // A pair no real evidence mentions, empty in *every* round: the
+            // merge must prune it — identically at every worker count.
+            let n = store.num_sources();
+            let ghost = SourcePair::new(SourceId::from_index(n), SourceId::from_index(n + 1));
+            for round in &mut evidence {
+                round.pairs.insert(ghost, Vec::new());
+            }
+        }
+
+        let accuracies = SourceAccuracies::uniform(store.num_sources(), 0.8).unwrap();
+        let params = CopyParams::paper_defaults();
+        let (sequential, seq_timings) =
+            merge_shard_rounds_timed(evidence.clone(), &accuracies, params);
+        prop_assert_eq!(seq_timings.pruned_pairs, u64::from(inject_empty));
+        for threads in 1usize..=8 {
+            let (parallel, timings, reports) =
+                merge_shard_rounds_parallel(evidence.clone(), &accuracies, params, threads);
+            prop_assert_eq!(
+                &parallel.outcomes, &sequential.outcomes,
+                "{} shard(s), {} merge thread(s): outcomes diverged", shards, threads
+            );
+            prop_assert_eq!(parallel.counter.score_updates, sequential.counter.score_updates);
+            prop_assert_eq!(
+                parallel.counter.pair_finalizations,
+                sequential.counter.pair_finalizations
+            );
+            prop_assert_eq!(parallel.shared_values_examined, sequential.shared_values_examined);
+            prop_assert_eq!(parallel.pairs_considered, sequential.pairs_considered);
+            prop_assert_eq!(timings.pairs, seq_timings.pairs);
+            prop_assert_eq!(timings.pruned_pairs, seq_timings.pruned_pairs);
+            let pair_sum: u64 = reports.iter().map(|r| r.pairs).sum();
+            let pruned_sum: u64 = reports.iter().map(|r| r.pruned_pairs).sum();
+            prop_assert_eq!(pair_sum, timings.pairs, "{} thread(s)", threads);
+            prop_assert_eq!(pruned_sum, timings.pruned_pairs, "{} thread(s)", threads);
+        }
+    }
+
     /// The same through per-claim `ingest` (no router batching) with
     /// auto-sealing shard maintenance mixed in.
     #[test]
@@ -143,7 +211,7 @@ proptest! {
             }
         }
         let expected = baseline(&ops);
-        let got = ShardedDetector::new().detect_round(&store);
+        let got = ShardedDetector::new().detect_round(&store).expect("consistent capture");
         prop_assert_eq!(got.outcomes.len(), expected.outcomes.len());
         for (pair, outcome) in &expected.outcomes {
             prop_assert_eq!(got.outcomes.get(pair), Some(outcome), "pair {} diverged", pair);

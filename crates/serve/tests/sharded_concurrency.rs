@@ -137,7 +137,7 @@ fn ingest_while_detecting_matches_from_scratch_baselines() {
         loop {
             let writers_done = writers.iter().all(|h| h.is_finished());
             let captures = store.capture_shards();
-            let result = detector.detect_captured(&store, &captures);
+            let result = detector.detect_captured(&store, &captures).expect("consistent capture");
             assert_eq!(result.algorithm, "SHARDED");
             let names = source_names(&store, &captures);
             let pairs = result
@@ -191,7 +191,7 @@ fn concurrent_rounds_are_self_consistent() {
         });
         let mut detector = ShardedDetector::new();
         for _ in 0..5 {
-            let result = detector.detect_round(&store);
+            let result = detector.detect_round(&store).expect("consistent capture");
             let num_sources = store.num_sources();
             for pair in result.outcomes.keys() {
                 assert!(pair.second().index() < num_sources, "pair ids stay in the registry");
@@ -255,7 +255,7 @@ fn lock_ranks_hold_under_stress() {
         });
         let mut detector = ShardedDetector::new();
         for _ in 0..4 {
-            let result = detector.detect_round(&store);
+            let result = detector.detect_round(&store).expect("consistent capture");
             assert_eq!(result.algorithm, "SHARDED");
         }
     });
