@@ -357,9 +357,10 @@ const LINT_HEADER: &str = "lint-header";
 
 /// Modules that parse crash or network input — or run on every hot path
 /// (the observability layer instruments ingest/detect/serve, so a panic in
-/// it takes the instrumented operation down with it) — and must stay
-/// panic-free.
+/// it takes the instrumented operation down with it; the top-k query
+/// pipeline runs per request) — and must stay panic-free.
 const PANIC_SCOPE: &[&str] = &[
+    "crates/detect/src/topk.rs",
     "crates/serve/src/frontend.rs",
     "crates/serve/src/registry_log.rs",
     "crates/store/src/wal.rs",
@@ -379,6 +380,7 @@ const CAST_SCOPE: &[&str] = &[
     "crates/serve/src/frontend.rs",
     "crates/serve/src/registry_log.rs",
     "crates/detect/src/sharded.rs",
+    "crates/detect/src/topk.rs",
     "crates/obs/src/metrics.rs",
     "crates/obs/src/trace.rs",
 ];
@@ -387,6 +389,7 @@ fn in_lock_scope(path: &str) -> bool {
     path.starts_with("crates/serve/src/")
         || path.starts_with("crates/store/src/")
         || path.starts_with("crates/obs/src/")
+        || path.starts_with("crates/detect/src/")
 }
 
 const INT_TYPES: &[&str] =

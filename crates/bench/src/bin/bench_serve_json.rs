@@ -18,7 +18,12 @@
 //! * a `merge_threads` series: the cross-shard merge re-run at 1/2/4/8
 //!   workers ([`copydet_detect::merge_shard_rounds_parallel`] — bit-identical
 //!   output at every count, so only the wall time varies; on a 1-core host
-//!   the counts >1 measure scheduling overhead, not speedup).
+//!   the counts >1 measure scheduling overhead, not speedup),
+//! * a `topk` series: the pruned per-source top-k query
+//!   ([`ShardedDetector::detect_topk`]) at k = 1/5/16 — per-query latency
+//!   plus the candidate/evaluated/pruned accounting. The bench asserts the
+//!   acceptance bar: each query evaluates under half the pairs a full
+//!   round considers and completes faster than a full round.
 //!
 //! Run with: `cargo run --release -p copydet-bench --bin bench_serve_json`
 
@@ -127,9 +132,11 @@ fn main() {
         let store = ShardedStore::new(shards);
         store.ingest_batch(claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())));
         let mut detector = ShardedDetector::new();
+        let mut full_pairs = 0usize;
         let round_s = time_n(3, || {
             let result = detector.detect_round(&store).expect("consistent capture");
             assert!(result.pairs_considered > 0);
+            full_pairs = result.pairs_considered;
         });
 
         // Decompose one round: sequential per-shard evidence scans vs the
@@ -179,6 +186,40 @@ fn main() {
                 .push(format!("        {{ \"threads\": {threads}, \"merge_s\": {t:.6} }}"));
         }
 
+        // The pruned top-k query path: "top-k most likely copiers of S0"
+        // (one end of the planted pair). The acceptance bar measured here:
+        // each query evaluates under half the pairs a full round considers
+        // (per-source candidate filtering does the heavy lifting on this
+        // corpus — every pair shares items, so the candidate set is the
+        // pairs touching S0) and beats a full round on wall time.
+        // Bit-identity against full-round extraction is asserted separately
+        // by the release-mode `topk_equivalence` CI step.
+        let mut topk_series = Vec::new();
+        for k in [1usize, 5, 16] {
+            let mut stats = copydet_serve::TopKStats::default();
+            let query_s = time_n(3, || {
+                let result = detector.detect_topk(&store, "S0", k).expect("consistent capture");
+                assert!(!result.ranked.is_empty(), "S0 always has candidate pairs");
+                stats = result.stats;
+            });
+            let evaluated = usize::try_from(stats.evaluated).unwrap_or(usize::MAX);
+            assert!(
+                evaluated * 2 < full_pairs,
+                "top-k query evaluated {evaluated} of {full_pairs} pairs — over the 50% bar"
+            );
+            assert!(
+                query_s < round_s,
+                "top-k query ({query_s:.6}s) must beat a full round ({round_s:.6}s)"
+            );
+            topk_series.push(format!(
+                concat!(
+                    "        {{ \"k\": {}, \"query_s\": {:.6}, \"candidates\": {}, ",
+                    "\"evaluated\": {}, \"pairs_pruned\": {} }}"
+                ),
+                k, query_s, stats.candidates, stats.evaluated, stats.pruned
+            ));
+        }
+
         let mut e = String::new();
         let _ = write!(
             e,
@@ -198,7 +239,8 @@ fn main() {
                 "        \"pairs\": {},\n",
                 "        \"pruned_pairs\": {}\n",
                 "      }},\n",
-                "      \"merge_threads\": [\n{}\n      ]\n",
+                "      \"merge_threads\": [\n{}\n      ],\n",
+                "      \"topk\": [\n{}\n      ]\n",
                 "    }}"
             ),
             shards,
@@ -214,6 +256,7 @@ fn main() {
             breakdown.pairs,
             breakdown.pruned_pairs,
             thread_series.join(",\n"),
+            topk_series.join(",\n"),
         );
         entries.push(e);
     }

@@ -38,6 +38,13 @@ pub enum DetectError {
         /// Shared items actually observed in the snapshot.
         observed: usize,
     },
+    /// A top-k query named a source the fleet has never seen. Surfaced as a
+    /// typed error so the serving layer can answer with an ERR frame rather
+    /// than a silently empty result.
+    UnknownSourceName {
+        /// The name the query asked for.
+        name: String,
+    },
 }
 
 impl fmt::Display for DetectError {
@@ -59,6 +66,9 @@ impl fmt::Display for DetectError {
                 "shard evidence for pair {pair} observed {observed} shared items but the \
                  counts index claims {counted}; counts and snapshot were not captured together"
             ),
+            DetectError::UnknownSourceName { name } => {
+                write!(f, "unknown source name {name:?}")
+            }
         }
     }
 }
@@ -83,5 +93,7 @@ mod tests {
         };
         let text = e.to_string();
         assert!(text.contains("(S0, S1)") && text.contains('3') && text.contains('2'));
+        let e = DetectError::UnknownSourceName { name: "ghost".into() };
+        assert!(e.to_string().contains("ghost"));
     }
 }

@@ -36,6 +36,7 @@ mod result;
 mod sampling;
 mod scan;
 mod sharded;
+pub mod topk;
 
 pub use api::{CopyDetector, OwnedRoundInput, RoundInput};
 pub use counters::ComputationCounter;
@@ -50,7 +51,8 @@ pub use scan::{
 };
 pub use scan::{BoundDetector, HybridDetector, IndexDetector};
 pub use sharded::{
-    collect_shard_evidence, merge_shard_rounds, merge_shard_rounds_parallel,
-    merge_shard_rounds_timed, MergeTimings, MergeWorkerReport, ShardIdMap, ShardRoundEvidence,
-    SharedItemObservation,
+    collect_shard_evidence, fold_pair_runs, merge_shard_rounds, merge_shard_rounds_parallel,
+    merge_shard_rounds_timed, MergeTimings, MergeWorkerReport, PairRuns, ShardIdMap,
+    ShardRoundEvidence, SharedItemObservation,
 };
+pub use topk::{TopKResult, TopKStats};

@@ -254,7 +254,7 @@ fn pair_partition(pair: SourcePair, workers: usize) -> usize {
 }
 
 /// The sorted per-shard observation runs of one pair, in shard order.
-type PairRuns = Vec<Vec<SharedItemObservation>>;
+pub type PairRuns = Vec<Vec<SharedItemObservation>>;
 
 /// Folds one observation into the pair's evidence.
 #[inline]
@@ -299,7 +299,12 @@ fn merge_two_runs(
 /// pairwise (the merged sequence is the unique sorted order, so the
 /// reduction strategy cannot change the fold order), then the final one or
 /// two runs fold directly.
-fn fold_pair_runs(
+///
+/// Public because the top-k serving path ([`crate::topk`] plus the serve
+/// crate's per-pair evaluator) must fold a single pair's runs through the
+/// *identical* float sequence as the full-round merge — bit-identity with
+/// `detect_round` is the correctness bar there.
+pub fn fold_pair_runs(
     mut runs: PairRuns,
     a_first: f64,
     a_second: f64,

@@ -1,7 +1,7 @@
 //! The NRA (No Random Access) top-k algorithm over sorted lists.
 
 use crate::list::SortedList;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 
 /// One object in the top-k answer, with the bounds NRA had established when
@@ -72,8 +72,12 @@ impl<K: Copy + Eq + Hash + Ord> NoRandomAccess<K> {
         }
         let m = self.lists.len();
         let max_depth = self.lists.iter().map(SortedList::len).max().unwrap_or(0);
-        // For each object: (lower bound, bitset of lists seen in).
-        let mut seen: HashMap<K, (f64, Vec<bool>)> = HashMap::new();
+        // For each object: (lower bound, bitset of lists seen in). A
+        // `BTreeMap` (not a `HashMap`) so every iteration below — bound
+        // scans, tie-breaking, result assembly — walks objects in key order:
+        // the output is structurally deterministic, not just deterministic
+        // because a final sort happens to break ties.
+        let mut seen: BTreeMap<K, (f64, Vec<bool>)> = BTreeMap::new();
         let mut entries_read = 0;
         let mut depth = 0;
 
@@ -136,7 +140,7 @@ impl<K: Copy + Eq + Hash + Ord> NoRandomAccess<K> {
         &self,
         k: usize,
         depth: usize,
-        seen: &HashMap<K, (f64, Vec<bool>)>,
+        seen: &BTreeMap<K, (f64, Vec<bool>)>,
     ) -> bool {
         if seen.len() < k {
             return false;
@@ -169,7 +173,7 @@ impl<K: Copy + Eq + Hash + Ord> NoRandomAccess<K> {
         &self,
         k: usize,
         depth: usize,
-        seen: &HashMap<K, (f64, Vec<bool>)>,
+        seen: &BTreeMap<K, (f64, Vec<bool>)>,
     ) -> Vec<NraResult<K>> {
         let frontiers = self.frontiers(depth);
         let mut results: Vec<NraResult<K>> = seen

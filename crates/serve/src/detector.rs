@@ -2,15 +2,18 @@
 //! merge into global copy decisions.
 
 use crate::shard::{ShardMaps, ShardedStore};
-use copydet_bayes::{SourceAccuracies, ValueProbabilities};
+use copydet_bayes::{CopyDecision, SourceAccuracies, ValueProbabilities};
 use copydet_detect::{
-    collect_shard_evidence, merge_shard_rounds_parallel, DetectError, DetectionResult,
+    collect_shard_evidence, fold_pair_runs, merge_shard_rounds_parallel, topk, DetectError,
+    DetectionResult, PairOutcome, SharedItemObservation, TopKResult,
 };
 use copydet_fusion::{vote_group_probabilities, VoteConfig};
 use copydet_model::codec::usize_to_u64;
-use copydet_model::{Dataset, ItemValueGroup};
+use copydet_model::{Dataset, ItemValueGroup, SourceId, SourcePair};
+use copydet_nra::SortedList;
 use copydet_obs::{registry, trace_ring, Counter, Histogram, RoundTraceBuilder, Span};
 use copydet_store::LiveConfig;
+use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 /// Sharded detection rounds completed in this process.
@@ -23,6 +26,30 @@ fn rounds_total() -> &'static Arc<Counter> {
 fn round_nanos() -> &'static Arc<Histogram> {
     static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
     HIST.get_or_init(|| registry().histogram("copydet_serve_round_nanos"))
+}
+
+/// Top-k queries answered in this process.
+fn topk_queries_total() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| registry().counter("copydet_serve_topk_queries_total"))
+}
+
+/// Per-query wall time of top-k queries.
+fn topk_query_nanos() -> &'static Arc<Histogram> {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| registry().histogram("copydet_serve_topk_query_nanos"))
+}
+
+/// Candidate pairs ruled out by the upper bound alone (never evaluated).
+fn topk_candidates_pruned() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| registry().counter("copydet_serve_topk_candidates_pruned_total"))
+}
+
+/// Candidate pairs whose exact evidence was materialized for a top-k query.
+fn topk_pairs_evaluated() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| registry().counter("copydet_serve_topk_pairs_evaluated_total"))
 }
 
 /// Runs copy detection over an item-partitioned store: one evidence scan per
@@ -150,6 +177,170 @@ impl ShardedDetector {
     ) -> Result<DetectionResult, DetectError> {
         let trace = RoundTraceBuilder::new("sharded_round");
         self.detect_traced(store, captures, trace, None)
+    }
+
+    /// Answers "who are the `k` most likely copiers of `source`?" without a
+    /// global round.
+    ///
+    /// Candidate pairs come from each shard's incrementally maintained
+    /// shared-item counts, ordered by an admissible evidence upper bound and
+    /// pruned through Fagin's NRA ([`topk::topk_with_pruning`]); only
+    /// surviving pairs are scored exactly, through the *identical* per-shard
+    /// walk and shard-order fold as [`detect_round`](Self::detect_round) —
+    /// the ranked answer is bit-identical to the top-k extracted from a full
+    /// round (ascending posterior, ties by ascending pair id), while
+    /// evaluating a fraction of the pairs.
+    ///
+    /// # Errors
+    /// [`DetectError::UnknownSourceName`] if the fleet has never seen
+    /// `source` — a typed error, not an empty result, so the serving layer
+    /// can answer with an ERR frame.
+    pub fn detect_topk(
+        &self,
+        store: &ShardedStore,
+        source: &str,
+        k: usize,
+    ) -> Result<TopKResult, DetectError> {
+        let target = store
+            .global_source_id(source)
+            .ok_or_else(|| DetectError::UnknownSourceName { name: source.to_owned() })?;
+        self.detect_topk_target(store, Some(target), k)
+    }
+
+    /// The `k` most suspicious pairs fleet-wide, by the same pruned query
+    /// path as [`detect_topk`](Self::detect_topk) with no source filter.
+    pub fn detect_topk_fleet(
+        &self,
+        store: &ShardedStore,
+        k: usize,
+    ) -> Result<TopKResult, DetectError> {
+        self.detect_topk_target(store, None, k)
+    }
+
+    /// The shared top-k query body: capture, candidate lists from counts
+    /// alone, NRA pruning, exact evaluation of survivors. Emits a
+    /// `topk_query` trace and the per-query latency/pruning metrics.
+    fn detect_topk_target(
+        &self,
+        store: &ShardedStore,
+        target: Option<SourceId>,
+        k: usize,
+    ) -> Result<TopKResult, DetectError> {
+        let mut trace = RoundTraceBuilder::new("topk_query");
+        let query_span = Span::start();
+        let capture_span = Span::start();
+        let (captures, capture_nanos) = store.capture_shards_traced();
+        trace.stage("capture", capture_span.elapsed_nanos());
+        for (i, nanos) in capture_nanos.iter().enumerate() {
+            trace.stage(&format!("shard{i}.capture"), *nanos);
+        }
+        let prepare_span = Span::start();
+        let maps: Vec<ShardMaps> =
+            captures.iter().map(|(snapshot, _)| store.maps_for(snapshot)).collect();
+        let accuracies =
+            SourceAccuracies::uniform(store.num_sources(), self.config.initial_accuracy)
+                .expect("initial accuracy is a probability");
+        let vote_config = VoteConfig::new(self.config.params);
+        let initial_accuracy = self.config.initial_accuracy;
+        let params = self.config.params;
+        trace.stage("prepare", prepare_span.elapsed_nanos());
+
+        // Candidate lists: one per shard, straight from the shared-item
+        // counts — no claim data is touched before the pruning loop asks
+        // for an exact score. `local_pairs` remembers each shard's local
+        // ids so the evaluator can find the pair's claim lists again.
+        let lists_span = Span::start();
+        let mut local_pairs: Vec<HashMap<SourcePair, (SourceId, SourceId)>> =
+            Vec::with_capacity(captures.len());
+        let lists: Vec<SortedList<SourcePair>> = captures
+            .iter()
+            .zip(&maps)
+            .map(|((_, counts), map)| {
+                let mut locals = HashMap::new();
+                let entries: Vec<(SourcePair, u32)> = counts
+                    .iter_nonzero()
+                    .map(|(pair, count)| {
+                        let global = SourcePair::new(
+                            map.ids.sources[pair.first().index()],
+                            map.ids.sources[pair.second().index()],
+                        );
+                        locals.insert(global, (pair.first(), pair.second()));
+                        (global, count)
+                    })
+                    .collect();
+                local_pairs.push(locals);
+                topk::shard_candidate_list(entries, target, |p| {
+                    topk::pair_score_upper_bound(
+                        accuracies.get(p.first()),
+                        accuracies.get(p.second()),
+                        &params,
+                    )
+                })
+            })
+            .collect();
+        trace.stage("lists", lists_span.elapsed_nanos());
+
+        // Exact evaluator for NRA survivors: the identical per-shard
+        // two-cursor walk as `collect_shard_evidence` and the identical
+        // shard-order fold as the round merge, so every returned outcome
+        // is bit-identical to the full round's. Each shard's vote bootstrap
+        // runs lazily, on the first pair evaluated against it.
+        let eval_span = Span::start();
+        let mut probabilities: Vec<Option<ValueProbabilities>> = vec![None; captures.len()];
+        let result = topk::topk_with_pruning(lists, k, &params, |pair| {
+            let a_first = accuracies.get(pair.first());
+            let a_second = accuracies.get(pair.second());
+            let mut runs: copydet_detect::PairRuns = Vec::new();
+            for (i, ((snapshot, _), map)) in captures.iter().zip(&maps).enumerate() {
+                let Some(&(l1, l2)) = local_pairs[i].get(&pair) else { continue };
+                let probs = probabilities[i].get_or_insert_with(|| {
+                    let shard_accuracies =
+                        SourceAccuracies::uniform(snapshot.dataset.num_sources(), initial_accuracy)
+                            .expect("initial accuracy is a probability");
+                    globally_ordered_vote(&snapshot.dataset, &shard_accuracies, map, &vote_config)
+                });
+                let claims1 = snapshot.dataset.claims_of(l1);
+                let claims2 = snapshot.dataset.claims_of(l2);
+                let mut observations = Vec::new();
+                let (mut ci, mut cj) = (0, 0);
+                while ci < claims1.len() && cj < claims2.len() {
+                    let (d1, v1) = claims1[ci];
+                    let (d2, v2) = claims2[cj];
+                    match d1.cmp(&d2) {
+                        std::cmp::Ordering::Less => ci += 1,
+                        std::cmp::Ordering::Greater => cj += 1,
+                        std::cmp::Ordering::Equal => {
+                            let same_value_probability = (v1 == v2).then(|| probs.get(d1, v1));
+                            observations.push(SharedItemObservation {
+                                item: map.ids.items[d1.index()],
+                                same_value_probability,
+                            });
+                            ci += 1;
+                            cj += 1;
+                        }
+                    }
+                }
+                if !observations.is_empty() {
+                    runs.push(observations);
+                }
+            }
+            let evidence = fold_pair_runs(runs, a_first, a_second, &params);
+            let posterior = evidence.posterior_independence(&params);
+            PairOutcome {
+                decision: CopyDecision::from_posterior(posterior),
+                posterior: Some(posterior),
+                c_to: evidence.c_to,
+                c_from: evidence.c_from,
+            }
+        });
+        trace.stage_count("query", eval_span.elapsed_nanos(), result.stats.evaluated);
+        let finished = trace.finish();
+        topk_queries_total().inc();
+        topk_query_nanos().record(query_span.elapsed_nanos());
+        topk_pairs_evaluated().add(result.stats.evaluated);
+        topk_candidates_pruned().add(result.stats.pruned);
+        trace_ring().push(finished);
+        Ok(result)
     }
 
     /// The round body shared by [`detect_round`](Self::detect_round) and
@@ -363,6 +554,68 @@ mod tests {
             let got = detector.detect_round(&store).expect("consistent capture");
             assert_eq!(got.outcomes, baseline.outcomes, "{workers} merge workers");
         }
+    }
+
+    /// Extracts the expected top-k from a full round: pairs containing
+    /// `target` (or all pairs), ascending posterior, ties by pair id.
+    fn extract_topk(
+        result: &DetectionResult,
+        target: Option<copydet_model::SourceId>,
+        k: usize,
+    ) -> Vec<(SourcePair, copydet_detect::PairOutcome)> {
+        let mut ranked: Vec<(SourcePair, copydet_detect::PairOutcome)> = result
+            .outcomes
+            .iter()
+            .filter(|(pair, _)| target.is_none_or(|t| pair.first() == t || pair.second() == t))
+            .map(|(pair, outcome)| (*pair, *outcome))
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.1.posterior
+                .unwrap_or(1.0)
+                .total_cmp(&b.1.posterior.unwrap_or(1.0))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    #[test]
+    fn topk_matches_full_round_extraction_bitwise() {
+        let claims = stream();
+        for shards in [1usize, 2, 4] {
+            let store = ShardedStore::new(shards);
+            store.ingest_batch(claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())));
+            let full = ShardedDetector::new().detect_round(&store).expect("consistent capture");
+            let detector = ShardedDetector::new();
+            let target = store.global_source_id("S0").expect("S0 was ingested");
+            for k in [1usize, 3, 100] {
+                let got = detector.detect_topk(&store, "S0", k).expect("known source");
+                let expected = extract_topk(&full, Some(target), k);
+                assert_eq!(got.ranked, expected, "{shards} shard(s), k={k}");
+                // The per-source query never considers pairs outside the
+                // target's candidate set.
+                assert!(got.stats.evaluated <= got.stats.candidates, "{shards} shard(s), k={k}");
+                assert!(
+                    (got.stats.candidates as usize) < full.outcomes.len(),
+                    "{shards} shard(s), k={k}: candidate set must be a strict subset"
+                );
+            }
+            let fleet = detector.detect_topk_fleet(&store, 4).expect("fleet query");
+            assert_eq!(fleet.ranked, extract_topk(&full, None, 4), "{shards} shard(s) fleet");
+        }
+    }
+
+    #[test]
+    fn topk_unknown_source_is_a_typed_error() {
+        let store = ShardedStore::new(2);
+        store.ingest_batch([("S0", "D0", "v"), ("S1", "D0", "v")]);
+        let err = ShardedDetector::new()
+            .detect_topk(&store, "nobody", 3)
+            .expect_err("unknown source must not return an empty result");
+        assert!(
+            matches!(&err, DetectError::UnknownSourceName { name } if name == "nobody"),
+            "unexpected error: {err:?}"
+        );
     }
 
     /// A counts handle captured at a different time than the snapshot it is

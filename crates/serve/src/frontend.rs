@@ -15,6 +15,7 @@
 //! | `0x04` | SHUTDOWN | empty |
 //! | `0x05` | METRICS | empty |
 //! | `0x06` | TRACE | `u32 n` (most recent traces wanted; `0` = all) |
+//! | `0x07` | DETECT_TOPK | `u8 mode` (`0` = per-source, `1` = fleet-wide), `u32 k`, then `str source` when `mode == 0` |
 //!
 //! Responses are `0x80` (OK, payload per request kind) or `0x81` (error,
 //! `str` message). Strings are the codec's length-prefixed UTF-8, bounded
@@ -65,6 +66,8 @@ pub const REQ_SHUTDOWN: u8 = 0x04;
 pub const REQ_METRICS: u8 = 0x05;
 /// Request kind: recent round traces.
 pub const REQ_TRACE: u8 = 0x06;
+/// Request kind: pruned top-k copier query (per-source or fleet-wide).
+pub const REQ_DETECT_TOPK: u8 = 0x07;
 /// Response kind: success.
 pub const RESP_OK: u8 = 0x80;
 /// Response kind: failure (payload is the message).
@@ -72,7 +75,8 @@ pub const RESP_ERR: u8 = 0x81;
 
 /// Verb names, indexed by [`verb_index`]; also the `verb` label of the
 /// `copydet_frontend_*` registry metrics.
-const VERBS: [&str; 6] = ["INGEST", "STATS", "DETECT", "SHUTDOWN", "METRICS", "TRACE"];
+const VERBS: [&str; 7] =
+    ["INGEST", "STATS", "DETECT", "SHUTDOWN", "METRICS", "TRACE", "DETECT_TOPK"];
 
 /// Dense verb index of a request kind (`None` for unknown kinds).
 fn verb_index(kind: u8) -> Option<usize> {
@@ -83,14 +87,15 @@ fn verb_index(kind: u8) -> Option<usize> {
         REQ_SHUTDOWN => Some(3),
         REQ_METRICS => Some(4),
         REQ_TRACE => Some(5),
+        REQ_DETECT_TOPK => Some(6),
         _ => None,
     }
 }
 
 /// Per-verb request counters in the process-global registry, indexed like
 /// [`VERBS`].
-fn request_counters() -> &'static [Arc<Counter>; 6] {
-    static COUNTERS: OnceLock<[Arc<Counter>; 6]> = OnceLock::new();
+fn request_counters() -> &'static [Arc<Counter>; 7] {
+    static COUNTERS: OnceLock<[Arc<Counter>; 7]> = OnceLock::new();
     COUNTERS.get_or_init(|| {
         std::array::from_fn(|i| {
             let verb = VERBS.get(i).copied().unwrap_or("UNKNOWN");
@@ -100,8 +105,8 @@ fn request_counters() -> &'static [Arc<Counter>; 6] {
 }
 
 /// Per-verb request-latency histograms, indexed like [`VERBS`].
-fn request_nanos() -> &'static [Arc<Histogram>; 6] {
-    static HISTOGRAMS: OnceLock<[Arc<Histogram>; 6]> = OnceLock::new();
+fn request_nanos() -> &'static [Arc<Histogram>; 7] {
+    static HISTOGRAMS: OnceLock<[Arc<Histogram>; 7]> = OnceLock::new();
     HISTOGRAMS.get_or_init(|| {
         std::array::from_fn(|i| {
             let verb = VERBS.get(i).copied().unwrap_or("UNKNOWN");
@@ -163,7 +168,7 @@ impl Drop for LiveConnection {
 #[derive(Debug)]
 struct FrontendStats {
     started: Instant,
-    verbs: [AtomicU64; 6],
+    verbs: [AtomicU64; 7],
 }
 
 impl FrontendStats {
@@ -191,6 +196,7 @@ impl FrontendStats {
             shutdown: get(3),
             metrics: get(4),
             trace: get(5),
+            detect_topk: get(6),
         }
     }
 }
@@ -247,6 +253,18 @@ pub enum ProtocolError {
         /// The unresolvable dense source index.
         index: usize,
     },
+    /// A `DETECT_TOPK` request named a source the fleet has never seen —
+    /// a typed refusal, never a silently empty result.
+    UnknownSourceName {
+        /// The name the request asked about.
+        name: String,
+    },
+    /// A `DETECT_TOPK` request used a mode byte the protocol does not
+    /// define.
+    UnknownTopKMode {
+        /// The offending mode byte.
+        mode: u8,
+    },
     /// The detection round itself failed (e.g. a shard's counts disagreed
     /// with its snapshot). Carries the rendered
     /// [`DetectError`](copydet_detect::DetectError) — a recoverable
@@ -282,6 +300,12 @@ impl fmt::Display for ProtocolError {
             ProtocolError::UnknownSource { index } => {
                 write!(f, "internal error: source index {index} has no registered name")
             }
+            ProtocolError::UnknownSourceName { name } => {
+                write!(f, "unknown source name {name:?}")
+            }
+            ProtocolError::UnknownTopKMode { mode } => {
+                write!(f, "unknown DETECT_TOPK mode {mode:#04x} (0 = per-source, 1 = fleet-wide)")
+            }
             ProtocolError::Detect { message } => {
                 write!(f, "DETECT round failed: {message}")
             }
@@ -302,8 +326,11 @@ fn write_frame(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> io::Result<(
 }
 
 /// Reads one frame from a stream; `Ok(None)` on a clean EOF before the
-/// first header byte. An EOF *inside* a header or body is a torn frame and
-/// surfaces as `UnexpectedEof` like any other truncation.
+/// first header byte, or on an idle timeout before the first header byte
+/// when the stream has a read timeout set ([`FrontendConfig::idle_timeout`])
+/// — a silent peer is reaped like a cleanly closed one. An EOF or timeout
+/// *inside* a header or body is a torn frame and surfaces as an error like
+/// any other truncation.
 fn read_frame(stream: &mut TcpStream) -> io::Result<Option<(u8, Vec<u8>)>> {
     let mut header = [0u8; codec::WIRE_HEADER_LEN];
     {
@@ -315,6 +342,11 @@ fn read_frame(stream: &mut TcpStream) -> io::Result<Option<(u8, Vec<u8>)>> {
             Ok(0) => return Ok(None),
             Ok(_) => {}
             Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(stream),
+            // A timed-out wait between frames (WouldBlock on Unix,
+            // TimedOut on Windows) is the idle-connection signal.
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                return Ok(None)
+            }
             Err(e) => return Err(e),
         }
         stream.read_exact(rest)?;
@@ -381,6 +413,8 @@ pub struct WireRequestCounts {
     pub metrics: u64,
     /// `TRACE` requests served.
     pub trace: u64,
+    /// `DETECT_TOPK` requests served.
+    pub detect_topk: u64,
 }
 
 /// One copying pair as reported over the wire (source names, since the
@@ -402,6 +436,20 @@ pub struct WireDetection {
     pub pairs_considered: u64,
     /// Pairs decided as copying.
     pub copying: Vec<WireCopyingPair>,
+}
+
+/// A pruned top-k query's answer as reported over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTopK {
+    /// Candidate pairs the shared-item indexes proposed for this query.
+    pub candidates: u64,
+    /// Candidates whose exact evidence was materialized.
+    pub evaluated: u64,
+    /// Candidates ruled out by the upper bound alone.
+    pub pruned: u64,
+    /// At most `k` pairs, most suspicious first (ascending posterior of
+    /// independence, ties by global pair id).
+    pub ranked: Vec<WireCopyingPair>,
 }
 
 /// The registry of live connections: a socket handle to interrupt each
@@ -489,6 +537,12 @@ pub struct FrontendConfig {
     /// set, else [`std::thread::available_parallelism`]. See
     /// [`ShardedDetector::with_merge_parallelism`].
     pub merge_parallelism: usize,
+    /// How long a connection may sit idle *between* frames before its
+    /// handler closes it. `None` (the default) waits forever — the
+    /// pre-timeout behavior, where a client that connects and goes silent
+    /// pins a handler thread until shutdown. Mid-frame timeouts remain
+    /// errors: only silence before a frame's first byte is "idle".
+    pub idle_timeout: Option<std::time::Duration>,
 }
 
 /// [`serve`] with explicit [`FrontendConfig`] knobs.
@@ -510,6 +564,13 @@ pub fn serve_with_config(
                 break;
             }
             let Ok(stream) = connection else { continue };
+            // A handler blocked in `read` observes idleness through the OS
+            // read timeout; `read_frame` turns a pre-frame timeout into a
+            // clean close. Failure to arm the timeout is not fatal — the
+            // connection just keeps the old wait-forever behavior.
+            if config.idle_timeout.is_some() {
+                let _ = stream.set_read_timeout(config.idle_timeout);
+            }
             let store = store.clone();
             let stats = Arc::clone(&frontend_stats);
             let stop = Arc::clone(&accept_stop);
@@ -548,20 +609,43 @@ fn handle_connection(
     config: FrontendConfig,
 ) -> io::Result<()> {
     let _live = LiveConnection::open();
-    while let Some((kind, payload)) = read_frame(&mut stream)? {
+    let result =
+        serve_connection(&mut stream, &store, &stats, &stop, server_addr, &connections, config);
+    // Dropping `stream` alone does not close the socket: the accept loop
+    // holds a `try_clone` dup in the connection registry (for SHUTDOWN
+    // interruption), so the peer would never see a FIN. An explicit
+    // half-duplex shutdown closes the connection regardless of dups — this
+    // is what makes an idle-timeout reap observable to the silent client.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    result
+}
+
+/// The per-connection request loop; see [`handle_connection`] for the
+/// socket-close contract wrapped around it.
+fn serve_connection(
+    stream: &mut TcpStream,
+    store: &ShardedStore,
+    stats: &FrontendStats,
+    stop: &AtomicBool,
+    server_addr: SocketAddr,
+    connections: &Connections,
+    config: FrontendConfig,
+) -> io::Result<()> {
+    while let Some((kind, payload)) = read_frame(stream)? {
         let span = Span::start();
         // Counted before dispatch so a STATS response includes the request
         // that asked for it.
         stats.count(kind);
         let response = match kind {
-            REQ_INGEST => handle_ingest(&store, &payload),
-            REQ_STATS => Ok(handle_stats(&store, &stats)),
-            REQ_DETECT => handle_detect(&store, config),
+            REQ_INGEST => handle_ingest(store, &payload),
+            REQ_STATS => Ok(handle_stats(store, stats)),
+            REQ_DETECT => handle_detect(store, &payload, config),
+            REQ_DETECT_TOPK => handle_detect_topk(store, &payload, config),
             REQ_METRICS => handle_metrics(),
             REQ_TRACE => handle_trace(&payload),
             REQ_SHUTDOWN => {
                 stop.store(true, Ordering::SeqCst);
-                write_frame(&mut stream, RESP_OK, &[])?;
+                write_frame(stream, RESP_OK, &[])?;
                 record_request(kind, &span);
                 // Unblock the accept loop so it observes the flag.
                 let _ = TcpStream::connect(wake_addr(server_addr));
@@ -582,8 +666,8 @@ fn handle_connection(
             other => Err(ProtocolError::UnknownKind { kind: other }),
         };
         match response {
-            Ok(out) => write_frame(&mut stream, RESP_OK, &out)?,
-            Err(e) => write_error(&mut stream, &e.to_string())?,
+            Ok(out) => write_frame(stream, RESP_OK, &out)?,
+            Err(e) => write_error(stream, &e.to_string())?,
         }
         record_request(kind, &span);
     }
@@ -624,9 +708,15 @@ fn handle_stats(store: &ShardedStore, frontend: &FrontendStats) -> Vec<u8> {
     }
     codec::put_u64(&mut out, frontend.uptime_micros());
     let counts = frontend.counts();
-    for count in
-        [counts.ingest, counts.stats, counts.detect, counts.shutdown, counts.metrics, counts.trace]
-    {
+    for count in [
+        counts.ingest,
+        counts.stats,
+        counts.detect,
+        counts.shutdown,
+        counts.metrics,
+        counts.trace,
+        counts.detect_topk,
+    ] {
         codec::put_u64(&mut out, count);
     }
     out
@@ -694,8 +784,21 @@ fn handle_trace(payload: &[u8]) -> Result<Vec<u8>, ProtocolError> {
 }
 
 /// DETECT: run a sharded round and encode the copying pairs by name.
-fn handle_detect(store: &ShardedStore, config: FrontendConfig) -> Result<Vec<u8>, ProtocolError> {
+fn handle_detect(
+    store: &ShardedStore,
+    payload: &[u8],
+    config: FrontendConfig,
+) -> Result<Vec<u8>, ProtocolError> {
     const REQUEST: &str = "DETECT";
+    // DETECT declares an empty payload; stray bytes mean a confused (or
+    // hostile) peer and are refused, not silently dropped.
+    if !payload.is_empty() {
+        return Err(ProtocolError::TrailingBytes {
+            request: REQUEST,
+            trailing: payload.len(),
+            declared: 0,
+        });
+    }
     let result = ShardedDetector::new()
         .with_merge_parallelism(config.merge_parallelism)
         .detect_round(store)
@@ -739,6 +842,78 @@ fn handle_detect(store: &ShardedStore, config: FrontendConfig) -> Result<Vec<u8>
             len: out.len(),
             limit: u32_to_usize(codec::MAX_WIRE_FRAME_LEN),
             entries: copying.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// DETECT_TOPK: run a pruned top-k query (per-source or fleet-wide) and
+/// encode the ranked pairs by name, most suspicious first, with the query's
+/// pruning counters.
+fn handle_detect_topk(
+    store: &ShardedStore,
+    payload: &[u8],
+    config: FrontendConfig,
+) -> Result<Vec<u8>, ProtocolError> {
+    const REQUEST: &str = "DETECT_TOPK";
+    let bad = |source| ProtocolError::BadPayload { request: REQUEST, source };
+    let mut r = Reader::new(payload);
+    let mode = r.u8().map_err(bad)?;
+    let k = r.u32().map_err(bad)?;
+    let source = match mode {
+        0 => Some(r.string().map_err(bad)?),
+        1 => None,
+        other => return Err(ProtocolError::UnknownTopKMode { mode: other }),
+    };
+    if !r.is_empty() {
+        return Err(ProtocolError::TrailingBytes {
+            request: REQUEST,
+            trailing: r.remaining(),
+            declared: k,
+        });
+    }
+    let detector = ShardedDetector::new().with_merge_parallelism(config.merge_parallelism);
+    let result = match &source {
+        Some(name) => detector.detect_topk(store, name, u32_to_usize(k)),
+        None => detector.detect_topk_fleet(store, u32_to_usize(k)),
+    }
+    .map_err(|e| match e {
+        copydet_detect::DetectError::UnknownSourceName { name } => {
+            ProtocolError::UnknownSourceName { name }
+        }
+        other => ProtocolError::Detect { message: other.to_string() },
+    })?;
+    let names = store.global_source_names();
+    let mut out = Vec::new();
+    codec::put_u64(&mut out, result.stats.candidates);
+    codec::put_u64(&mut out, result.stats.evaluated);
+    codec::put_u64(&mut out, result.stats.pruned);
+    let declared =
+        u32::try_from(result.ranked.len()).map_err(|_| ProtocolError::ResponseTooLarge {
+            request: REQUEST,
+            len: result.ranked.len(),
+            limit: u32_to_usize(u32::MAX),
+            entries: result.ranked.len(),
+        })?;
+    codec::put_u32(&mut out, declared);
+    for (pair, outcome) in &result.ranked {
+        let resolve = |index: usize| {
+            names.get(index).map(String::as_str).ok_or(ProtocolError::UnknownSource { index })
+        };
+        let encode = |out: &mut Vec<u8>, s: &str| {
+            codec::put_str(out, s)
+                .map_err(|source| ProtocolError::Encode { request: REQUEST, source })
+        };
+        encode(&mut out, resolve(pair.first().index())?)?;
+        encode(&mut out, resolve(pair.second().index())?)?;
+        codec::put_u64(&mut out, outcome.posterior.unwrap_or(1.0).to_bits());
+    }
+    if usize_to_u64(out.len()) > u64::from(codec::MAX_WIRE_FRAME_LEN) {
+        return Err(ProtocolError::ResponseTooLarge {
+            request: REQUEST,
+            len: out.len(),
+            limit: u32_to_usize(codec::MAX_WIRE_FRAME_LEN),
+            entries: result.ranked.len(),
         });
     }
     Ok(out)
@@ -868,6 +1043,7 @@ impl Client {
                 shutdown: r.u64()?,
                 metrics: r.u64()?,
                 trace: r.u64()?,
+                detect_topk: r.u64()?,
             };
             Ok(WireFleetStats { shards, uptime_micros, requests })
         };
@@ -924,6 +1100,44 @@ impl Client {
                 });
             }
             Ok(WireDetection { pairs_considered, copying })
+        };
+        decode(&mut r).map_err(invalid)
+    }
+
+    /// Runs a pruned top-k query on the server: the `k` most likely copiers
+    /// of `source` (`Some`), or the `k` most suspicious pairs fleet-wide
+    /// (`None`). The ranked answer is bit-identical to the top-k of a full
+    /// [`detect`](Self::detect) round; the counters say how much of the
+    /// fleet's pair universe the query actually evaluated.
+    pub fn detect_topk(&mut self, source: Option<&str>, k: u32) -> io::Result<WireTopK> {
+        let mut payload = Vec::new();
+        match source {
+            Some(name) => {
+                codec::put_u8(&mut payload, 0);
+                codec::put_u32(&mut payload, k);
+                codec::put_str(&mut payload, name).map_err(invalid)?;
+            }
+            None => {
+                codec::put_u8(&mut payload, 1);
+                codec::put_u32(&mut payload, k);
+            }
+        }
+        let resp = self.request(REQ_DETECT_TOPK, &payload)?;
+        let mut r = Reader::new(&resp);
+        let decode = |r: &mut Reader<'_>| -> Result<WireTopK, CodecError> {
+            let candidates = r.u64()?;
+            let evaluated = r.u64()?;
+            let pruned = r.u64()?;
+            let n = u32_to_usize(r.u32()?);
+            let mut ranked = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                ranked.push(WireCopyingPair {
+                    first: r.string()?,
+                    second: r.string()?,
+                    posterior: f64::from_bits(r.u64()?),
+                });
+            }
+            Ok(WireTopK { candidates, evaluated, pruned, ranked })
         };
         decode(&mut r).map_err(invalid)
     }

@@ -27,8 +27,9 @@
 //! * **[`frontend`]** — a std-only `TcpListener` request loop speaking a
 //!   checksummed length-prefixed protocol built on
 //!   [`copydet_model::codec`]: INGEST batch / STATS / DETECT round /
-//!   SHUTDOWN / METRICS exposition / TRACE (recent round traces), plus the
-//!   matching blocking [`Client`](frontend::Client).
+//!   DETECT_TOPK pruned top-k query / SHUTDOWN / METRICS exposition /
+//!   TRACE (recent round traces), plus the matching blocking
+//!   [`Client`](frontend::Client).
 //!
 //! ```
 //! use copydet_serve::{ShardedDetector, ShardedStore};
@@ -65,6 +66,6 @@ pub use shard::{fnv1a64, partition_of, Router, ShardMaps, ShardedStore};
 
 // Re-exported so serve users can name the store/detect/obs types without
 // direct dependencies.
-pub use copydet_detect::DetectionResult;
+pub use copydet_detect::{DetectionResult, TopKResult, TopKStats};
 pub use copydet_obs::{RoundTrace, TraceStage};
 pub use copydet_store::{LiveConfig, StoreConfig, StoreIoError, StoreStats};

@@ -367,6 +367,13 @@ impl ShardedStore {
         self.global.read().sources.names().to_vec()
     }
 
+    /// Resolves a source name to its global id, if the fleet has seen it.
+    /// The lookup for per-source queries (`detect_topk`), taken under the
+    /// registry's shared read lock.
+    pub fn global_source_id(&self, name: &str) -> Option<SourceId> {
+        self.global.read().sources.get(name).map(SourceId::from_index)
+    }
+
     /// Distinct item names seen across all shards.
     pub fn num_items(&self) -> usize {
         self.global.read().items.len()

@@ -206,6 +206,151 @@ fn malformed_trace_request_is_a_typed_error_not_fatal() {
 }
 
 #[test]
+fn topk_roundtrip_matches_in_process_query_bitwise() {
+    let store = ShardedStore::new(3);
+    let server = frontend::serve(store.clone(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let claims = corpus();
+    let borrowed: Vec<(&str, &str, &str)> =
+        claims.iter().map(|(s, d, v)| (s.as_str(), d.as_str(), v.as_str())).collect();
+    client.ingest(&borrowed).expect("ingest");
+
+    // Per-source: the two most likely copiers of "mirror".
+    let topk = client.detect_topk(Some("mirror"), 2).expect("detect_topk");
+    let expected = ShardedDetector::new().detect_topk(&store, "mirror", 2).expect("in-process");
+    assert_eq!(topk.candidates, expected.stats.candidates);
+    assert_eq!(topk.evaluated, expected.stats.evaluated);
+    assert_eq!(topk.pruned, expected.stats.pruned);
+    assert_eq!(topk.ranked.len(), expected.ranked.len());
+    for (wire, (pair, outcome)) in topk.ranked.iter().zip(&expected.ranked) {
+        // Posteriors cross the wire as raw bits: bit-identical, not close.
+        assert_eq!(wire.posterior.to_bits(), outcome.posterior.unwrap().to_bits());
+        let _ = pair;
+    }
+    let best = topk.ranked.first().expect("mirror has copiers");
+    assert_eq!((best.first.as_str(), best.second.as_str()), ("mirror", "shadow"));
+    assert!(best.posterior < 1e-6, "planted pair is decisive");
+    // The per-source candidate set is a strict subset of the fleet's pairs.
+    let full = client.detect().expect("detect");
+    assert!(topk.candidates < full.pairs_considered, "query must not pay for a full round");
+
+    // Fleet-wide: the most suspicious pair overall is the planted one.
+    let fleet = client.detect_topk(None, 1).expect("fleet detect_topk");
+    let best = fleet.ranked.first().expect("fleet has a most suspicious pair");
+    assert_eq!((best.first.as_str(), best.second.as_str()), ("mirror", "shadow"));
+
+    // The new verb is accounted in STATS like every other.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests.detect_topk, 2);
+    assert_eq!(stats.requests.detect, 1);
+
+    client.shutdown().expect("shutdown");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_topk_and_detect_requests_are_typed_errors_not_fatal() {
+    let store = ShardedStore::new(2);
+    let server = frontend::serve(store, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client.ingest(&[("alice", "D0", "v"), ("bob", "D0", "v")]).expect("ingest");
+
+    // An unknown source name comes back as a typed error naming the source,
+    // not as an empty result.
+    let err = client.detect_topk(Some("nobody"), 3).expect_err("unknown source");
+    let message = err.to_string();
+    assert!(message.contains("unknown source name"), "names the defect: {message}");
+    assert!(message.contains("nobody"), "names the source: {message}");
+    // The same connection keeps serving.
+    let ok = client.detect_topk(Some("alice"), 3).expect("known source after the error");
+    assert_eq!(ok.ranked.len(), 1, "alice shares D0 with bob only");
+
+    // A mode byte outside the protocol is refused by name.
+    let mut bad = Vec::new();
+    copydet_model::codec::put_u8(&mut bad, 9);
+    copydet_model::codec::put_u32(&mut bad, 1);
+    let mut raw = TcpStream::connect(addr).expect("raw connect");
+    raw.write_all(
+        &copydet_model::codec::encode_wire_frame(frontend::REQ_DETECT_TOPK, &bad)
+            .expect("tiny frame"),
+    )
+    .unwrap();
+    let (kind, payload) = read_raw_frame(&mut raw);
+    assert_eq!(kind, frontend::RESP_ERR);
+    let message = error_message(&payload);
+    assert!(message.contains("DETECT_TOPK mode"), "names the defect: {message}");
+
+    // Trailing bytes after a well-formed DETECT_TOPK payload are refused.
+    let mut bad = Vec::new();
+    copydet_model::codec::put_u8(&mut bad, 1);
+    copydet_model::codec::put_u32(&mut bad, 1);
+    bad.push(0xCD);
+    raw.write_all(
+        &copydet_model::codec::encode_wire_frame(frontend::REQ_DETECT_TOPK, &bad)
+            .expect("tiny frame"),
+    )
+    .unwrap();
+    let (kind, payload) = read_raw_frame(&mut raw);
+    assert_eq!(kind, frontend::RESP_ERR);
+    let message = error_message(&payload);
+    assert!(message.contains("DETECT_TOPK"), "names the request: {message}");
+    assert!(message.contains("trailing"), "names the defect: {message}");
+
+    // DETECT declares an empty payload; stray bytes are refused, and the
+    // connection keeps serving afterwards.
+    raw.write_all(
+        &copydet_model::codec::encode_wire_frame(frontend::REQ_DETECT, &[0xEF])
+            .expect("tiny frame"),
+    )
+    .unwrap();
+    let (kind, payload) = read_raw_frame(&mut raw);
+    assert_eq!(kind, frontend::RESP_ERR);
+    let message = error_message(&payload);
+    assert!(message.contains("DETECT"), "names the request: {message}");
+    assert!(message.contains("trailing"), "names the defect: {message}");
+    raw.write_all(
+        &copydet_model::codec::encode_wire_frame(frontend::REQ_STATS, &[]).expect("tiny frame"),
+    )
+    .unwrap();
+    let (kind, _) = read_raw_frame(&mut raw);
+    assert_eq!(kind, frontend::RESP_OK, "connection survives the malformed frames");
+
+    client.shutdown().expect("shutdown");
+    server.shutdown();
+}
+
+#[test]
+fn idle_connection_is_reaped_while_server_keeps_serving() {
+    use std::io::Read;
+    use std::time::Duration;
+    let store = ShardedStore::new(2);
+    let config = frontend::FrontendConfig {
+        idle_timeout: Some(Duration::from_millis(300)),
+        ..Default::default()
+    };
+    let server = frontend::serve_with_config(store, "127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.addr();
+
+    // A client that connects and goes silent: its handler observes the idle
+    // timeout and closes the connection cleanly (the pre-fix behavior
+    // pinned a handler thread forever).
+    let mut silent = TcpStream::connect(addr).expect("silent connect");
+    silent.set_read_timeout(Some(Duration::from_secs(30))).expect("client-side guard");
+    let mut buf = [0u8; 1];
+    let n = silent.read(&mut buf).expect("server closes the idle connection cleanly");
+    assert_eq!(n, 0, "clean close (FIN), not a torn frame");
+
+    // The server is still accepting and serving after the reap.
+    let mut client = Client::connect(addr).expect("connect after the reap");
+    let stats = client.stats().expect("stats after the reap");
+    assert_eq!(stats.shards.len(), 2);
+    client.shutdown().expect("shutdown");
+    server.shutdown();
+}
+
+#[test]
 fn protocol_errors_are_reported_not_fatal() {
     let store = ShardedStore::new(2);
     let server = frontend::serve(store, "127.0.0.1:0").expect("bind loopback");
