@@ -369,6 +369,8 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/model/src/codec.rs",
     "crates/obs/src/metrics.rs",
     "crates/obs/src/trace.rs",
+    "crates/obs/src/event.rs",
+    "crates/obs/src/health.rs",
 ];
 
 /// Codec/format/wire modules — plus the cross-shard merge, which folds
@@ -383,6 +385,8 @@ const CAST_SCOPE: &[&str] = &[
     "crates/detect/src/topk.rs",
     "crates/obs/src/metrics.rs",
     "crates/obs/src/trace.rs",
+    "crates/obs/src/event.rs",
+    "crates/obs/src/health.rs",
 ];
 
 fn in_lock_scope(path: &str) -> bool {

@@ -30,8 +30,22 @@
 //! lock poisons it, and any later acquisition panics with the lock's
 //! registered name. That keeps `unwrap`/`expect` chains out of the audited
 //! server paths while preserving fail-fast semantics.
+//!
+//! ## Contention probes
+//!
+//! Every ranked lock additionally carries an **always-on** contention probe
+//! (release builds included): three relaxed atomics counting acquisitions,
+//! contended acquisitions (the uncontended `try_lock` fast path failed) and
+//! total nanoseconds spent blocked. Locks sharing a `(rank, name)` pair —
+//! the item-partitioned shards, for instance — share one probe, so the
+//! numbers aggregate per hierarchy entry. [`lock_probe_snapshots`] returns
+//! the current readings; `copydet-obs` republishes them as
+//! `copydet_lock_*{rank,name}` gauges for the METRICS verb. The uncontended
+//! path costs one `fetch_add` (~ns); timing happens only on the blocking
+//! path, which already costs a context switch.
 
-use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 #[cfg(debug_assertions)]
 mod rank_stack {
@@ -127,6 +141,112 @@ pub fn max_held_rank() -> Option<u32> {
     }
 }
 
+/// Contention counters of one `(rank, name)` entry in the lock hierarchy.
+///
+/// All counters are relaxed atomics: they are monotone tallies read for
+/// dashboards, not synchronization. A probe is shared by every lock
+/// constructed with the same rank and name (shards aggregate).
+#[derive(Debug)]
+pub struct LockProbe {
+    rank: u32,
+    name: &'static str,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    wait_nanos: AtomicU64,
+}
+
+impl LockProbe {
+    fn detached(rank: u32, name: &'static str) -> Self {
+        Self {
+            rank,
+            name,
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            wait_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one acquisition on the uncontended fast path.
+    fn hit(&self) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one contended acquisition and the nanoseconds it blocked.
+    fn blocked(&self, waited: std::time::Duration) {
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        let nanos = u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX);
+        self.wait_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+impl Default for LockProbe {
+    /// A detached probe (rank 0, empty name) for `Default`-constructed
+    /// locks; never registered, so it cannot pollute the snapshots.
+    fn default() -> Self {
+        Self::detached(0, "")
+    }
+}
+
+/// A point-in-time reading of one [`LockProbe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockProbeSnapshot {
+    /// The lock's rank in the hierarchy.
+    pub rank: u32,
+    /// The lock's diagnostic name.
+    pub name: &'static str,
+    /// Total acquisitions (lock / read / write) since process start.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held and had to block.
+    pub contended: u64,
+    /// Total nanoseconds spent blocked across all contended acquisitions.
+    pub wait_nanos: u64,
+}
+
+/// The process-global probe directory. A plain `Mutex` (not a ranked one):
+/// it is touched only at lock *construction* and snapshot time, never on an
+/// acquisition path, so it sits outside the rank hierarchy by design.
+fn probe_directory() -> &'static Mutex<Vec<Arc<LockProbe>>> {
+    static PROBES: OnceLock<Mutex<Vec<Arc<LockProbe>>>> = OnceLock::new();
+    PROBES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The shared probe for `(rank, name)`, registering it on first sight.
+fn probe_for(rank: u32, name: &'static str) -> Arc<LockProbe> {
+    let mut probes = match probe_directory().lock() {
+        Ok(guard) => guard,
+        // A panic between find and push cannot leave the Vec torn; keep
+        // serving probes rather than poisoning every lock constructor.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(existing) = probes.iter().find(|p| p.rank == rank && p.name == name) {
+        return Arc::clone(existing);
+    }
+    let probe = Arc::new(LockProbe::detached(rank, name));
+    probes.push(Arc::clone(&probe));
+    probe
+}
+
+/// Current readings of every registered lock probe, sorted by rank then
+/// name. The observability layer republishes these as registry gauges.
+pub fn lock_probe_snapshots() -> Vec<LockProbeSnapshot> {
+    let probes = match probe_directory().lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let mut snapshots: Vec<LockProbeSnapshot> = probes
+        .iter()
+        .map(|p| LockProbeSnapshot {
+            rank: p.rank,
+            name: p.name,
+            acquisitions: p.acquisitions.load(Ordering::Relaxed),
+            contended: p.contended.load(Ordering::Relaxed),
+            wait_nanos: p.wait_nanos.load(Ordering::Relaxed),
+        })
+        .collect();
+    snapshots.sort_by(|a, b| a.rank.cmp(&b.rank).then_with(|| a.name.cmp(b.name)));
+    snapshots
+}
+
 /// A [`Mutex`] that participates in the workspace lock hierarchy.
 ///
 /// Construction registers a **rank** and a **name**; every
@@ -137,6 +257,7 @@ pub fn max_held_rank() -> Option<u32> {
 pub struct RankedMutex<T> {
     rank: u32,
     name: &'static str,
+    probe: Arc<LockProbe>,
     inner: Mutex<T>,
 }
 
@@ -151,7 +272,7 @@ pub struct RankedMutexGuard<'a, T> {
 impl<T> RankedMutex<T> {
     /// Wraps `value` in a mutex of the given `rank`, named for diagnostics.
     pub fn new(rank: u32, name: &'static str, value: T) -> Self {
-        Self { rank, name, inner: Mutex::new(value) }
+        Self { rank, name, probe: probe_for(rank, name), inner: Mutex::new(value) }
     }
 
     /// The mutex's rank in the lock hierarchy.
@@ -172,13 +293,27 @@ impl<T> RankedMutex<T> {
     /// or greater rank.
     pub fn lock(&self) -> RankedMutexGuard<'_, T> {
         let token = RankToken::acquire(self.rank, self.name);
-        match self.inner.lock() {
-            Ok(guard) => RankedMutexGuard { guard, _token: token },
-            Err(poisoned) => {
+        self.probe.hit();
+        let guard = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                let start = std::time::Instant::now();
+                let acquired = self.inner.lock();
+                self.probe.blocked(start.elapsed());
+                match acquired {
+                    Ok(guard) => guard,
+                    Err(poisoned) => {
+                        drop(poisoned);
+                        panic!("lock '{}' poisoned: a previous holder panicked", self.name)
+                    }
+                }
+            }
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
                 drop(poisoned);
                 panic!("lock '{}' poisoned: a previous holder panicked", self.name)
             }
-        }
+        };
+        RankedMutexGuard { guard, _token: token }
     }
 }
 
@@ -205,6 +340,7 @@ impl<T> std::ops::DerefMut for RankedMutexGuard<'_, T> {
 pub struct RankedRwLock<T> {
     rank: u32,
     name: &'static str,
+    probe: Arc<LockProbe>,
     inner: RwLock<T>,
 }
 
@@ -226,7 +362,7 @@ impl<T> RankedRwLock<T> {
     /// Wraps `value` in an rwlock of the given `rank`, named for
     /// diagnostics.
     pub fn new(rank: u32, name: &'static str, value: T) -> Self {
-        Self { rank, name, inner: RwLock::new(value) }
+        Self { rank, name, probe: probe_for(rank, name), inner: RwLock::new(value) }
     }
 
     /// The lock's rank in the lock hierarchy.
@@ -247,13 +383,27 @@ impl<T> RankedRwLock<T> {
     /// violation.
     pub fn read(&self) -> RankedReadGuard<'_, T> {
         let token = RankToken::acquire(self.rank, self.name);
-        match self.inner.read() {
-            Ok(guard) => RankedReadGuard { guard, _token: token },
-            Err(poisoned) => {
+        self.probe.hit();
+        let guard = match self.inner.try_read() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                let start = std::time::Instant::now();
+                let acquired = self.inner.read();
+                self.probe.blocked(start.elapsed());
+                match acquired {
+                    Ok(guard) => guard,
+                    Err(poisoned) => {
+                        drop(poisoned);
+                        panic!("lock '{}' poisoned: a previous holder panicked", self.name)
+                    }
+                }
+            }
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
                 drop(poisoned);
                 panic!("lock '{}' poisoned: a previous holder panicked", self.name)
             }
-        }
+        };
+        RankedReadGuard { guard, _token: token }
     }
 
     /// Acquires exclusive write access, asserting the rank discipline in
@@ -264,13 +414,27 @@ impl<T> RankedRwLock<T> {
     /// violation.
     pub fn write(&self) -> RankedWriteGuard<'_, T> {
         let token = RankToken::acquire(self.rank, self.name);
-        match self.inner.write() {
-            Ok(guard) => RankedWriteGuard { guard, _token: token },
-            Err(poisoned) => {
+        self.probe.hit();
+        let guard = match self.inner.try_write() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                let start = std::time::Instant::now();
+                let acquired = self.inner.write();
+                self.probe.blocked(start.elapsed());
+                match acquired {
+                    Ok(guard) => guard,
+                    Err(poisoned) => {
+                        drop(poisoned);
+                        panic!("lock '{}' poisoned: a previous holder panicked", self.name)
+                    }
+                }
+            }
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
                 drop(poisoned);
                 panic!("lock '{}' poisoned: a previous holder panicked", self.name)
             }
-        }
+        };
+        RankedWriteGuard { guard, _token: token }
     }
 }
 
@@ -386,6 +550,69 @@ mod tests {
         let shard = RankedMutex::new(20, "shard", ());
         let _shard_guard = shard.lock();
         let _read = registry.read(); // even a shared read is an acquisition
+    }
+
+    #[test]
+    fn probes_count_acquisitions_and_contention() {
+        let find = |snaps: &[LockProbeSnapshot]| {
+            snaps.iter().find(|s| s.rank == 91 && s.name == "probe-demo").cloned()
+        };
+        let m = std::sync::Arc::new(RankedMutex::new(91, "probe-demo", 0u32));
+        let before = find(&lock_probe_snapshots()).unwrap_or(LockProbeSnapshot {
+            rank: 91,
+            name: "probe-demo",
+            acquisitions: 0,
+            contended: 0,
+            wait_nanos: 0,
+        });
+        // Uncontended: acquisitions move, contention does not.
+        drop(m.lock());
+        let after = find(&lock_probe_snapshots()).expect("probe registered at construction");
+        assert_eq!(after.acquisitions, before.acquisitions + 1);
+        assert_eq!(after.contended, before.contended);
+
+        // Forced contention: hold the lock while another thread acquires.
+        let held = m.lock();
+        let contender = {
+            let m = std::sync::Arc::clone(&m);
+            std::thread::spawn(move || {
+                let _guard = m.lock();
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(held);
+        contender.join().expect("contender finishes");
+        let contended = find(&lock_probe_snapshots()).expect("probe still registered");
+        assert_eq!(contended.acquisitions, after.acquisitions + 2);
+        assert!(contended.contended > after.contended, "the blocked acquisition counted");
+        assert!(contended.wait_nanos > after.wait_nanos, "the block accrued wait time");
+    }
+
+    #[test]
+    fn same_rank_and_name_locks_share_one_probe() {
+        let a = RankedMutex::new(92, "probe-shared", ());
+        let b = RankedMutex::new(92, "probe-shared", ());
+        let reading = |snaps: &[LockProbeSnapshot]| {
+            snaps
+                .iter()
+                .find(|s| s.rank == 92 && s.name == "probe-shared")
+                .map(|s| s.acquisitions)
+                .unwrap_or(0)
+        };
+        let before = reading(&lock_probe_snapshots());
+        drop(a.lock());
+        drop(b.lock());
+        assert_eq!(reading(&lock_probe_snapshots()), before + 2, "both locks feed one probe");
+    }
+
+    #[test]
+    fn default_locks_use_a_detached_probe() {
+        let m: RankedMutex<u8> = RankedMutex::default();
+        drop(m.lock());
+        assert!(
+            !lock_probe_snapshots().iter().any(|s| s.rank == 0 && s.name.is_empty()),
+            "Default-constructed locks must not register probes"
+        );
     }
 
     #[test]

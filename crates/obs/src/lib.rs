@@ -7,7 +7,7 @@
 //! evaluation — *Scaling up Copy Detection*, Li et al., ICDE 2015 — and the
 //! ROADMAP's perf items turn on).
 //!
-//! Three layers, all std-only (atomics plus the existing
+//! Four layers, all std-only (atomics plus the existing
 //! [`RankedMutex`](copydet_model::sync::RankedMutex) discipline; no new
 //! dependencies):
 //!
@@ -20,9 +20,14 @@
 //!   per-process ring buffer ([`TraceRing`]) of recent [`RoundTrace`]s:
 //!   one trace per detection round, decomposed into named stages
 //!   (per-shard capture/scan, merge collect/fold/vote).
+//! * **[`event`] + [`health`]** — the flight recorder: a bounded ring of
+//!   structured [`Event`]s (severity-filtered via `COPYDET_LOG`, optional
+//!   NDJSON sink, slow-op promotion via `COPYDET_SLOW_OP_MS`) and the
+//!   typed [`HealthVerdict`] rules the `HEALTH` verb serves, including the
+//!   lock-contention gauges bridged from `copydet_model::sync`.
 //! * The **wire surface** lives in `copydet-serve`: `METRICS` returns the
-//!   text exposition, `TRACE` returns the most recent N round traces,
-//!   codec-framed.
+//!   text exposition, `TRACE` the most recent N round traces, `EVENTS`
+//!   recent events and `HEALTH` the verdict, codec-framed.
 //!
 //! Instrumentation is panic-free (this crate is on the `copydet-audit`
 //! no-panic and lossy-cast lists) and near-zero-cost when nothing reads it:
@@ -45,12 +50,24 @@
 #![deny(unused_must_use)]
 #![warn(missing_docs)]
 
+pub mod event;
+pub mod health;
 pub mod metrics;
 pub mod trace;
 
+pub use event::{
+    emit, event_ring, min_severity, set_default_event_capacity, set_event_sink,
+    set_slow_op_threshold, slow_op_exceeded, slow_op_threshold_nanos, take_event_sink,
+    trace_fields, Event, EventRing, FieldValue, Severity, EVENT_RING_CAPACITY,
+};
+pub use health::{
+    evaluate_process_health, publish_lock_metrics, HealthReason, HealthReasonCode,
+    HealthThresholds, HealthVerdict,
+};
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, Registry, HISTOGRAM_BUCKETS,
 };
 pub use trace::{
-    trace_ring, RoundTrace, RoundTraceBuilder, Span, TraceRing, TraceStage, TRACE_RING_CAPACITY,
+    set_default_trace_capacity, trace_ring, RoundTrace, RoundTraceBuilder, Span, TraceRing,
+    TraceStage, TRACE_RING_CAPACITY,
 };

@@ -463,6 +463,52 @@ mod tests {
         assert_eq!(Histogram::new().snapshot().quantile(0.5), None);
     }
 
+    /// Pins `quantile()` semantics on log2 bucket edges: a value exactly on
+    /// a power of two lands in the bucket whose *inclusive upper bound* is
+    /// the next edge minus one, and the quantile returns that upper bound.
+    #[test]
+    fn quantile_bucket_edge_semantics_are_pinned() {
+        // 2^10 = 1024 sits at the *bottom* of bucket [1024, 2047]: every
+        // quantile of a single-valued histogram reports that bucket's upper.
+        let h = Histogram::new();
+        h.record(1024);
+        let s = h.snapshot();
+        for q in [0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(2047), "q={q}");
+        }
+        assert_eq!(s.quantile(0.0), Some(0), "q=0 is satisfied by the empty zero bucket");
+        // 1023 = 2^10 - 1 is the *top* of bucket [512, 1023]: its quantile
+        // is itself, one bucket below.
+        let h = Histogram::new();
+        h.record(1023);
+        assert_eq!(h.snapshot().quantile(0.99), Some(1023));
+
+        // Mixed population split exactly at a bucket edge: 50 values of 512
+        // (bucket ≤1023) and 50 of 1024 (bucket ≤2047). The median target is
+        // ceil(0.5·100) = 50, satisfied by the lower bucket's cumulative 50
+        // — q=0.5 reports the lower edge, anything above reports the upper.
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(512);
+            h.record(1024);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), Some(1023), "median satisfied by the lower bucket");
+        assert_eq!(s.quantile(0.51), Some(2047), "past the edge needs the upper bucket");
+        assert_eq!(s.quantile(1.0), Some(2047));
+
+        // q=0 needs ceil(0) = 0 observations: the first bucket with any
+        // cumulative count ≥ 0 is bucket 0 (upper bound 0), even when empty.
+        assert_eq!(s.quantile(0.0), Some(0));
+        // Out-of-range q clamps rather than panicking or extrapolating.
+        assert_eq!(s.quantile(-1.0), s.quantile(0.0));
+        assert_eq!(s.quantile(2.0), s.quantile(1.0));
+        // The zero bucket is its own edge: a zero observation quantiles to 0.
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.snapshot().quantile(1.0), Some(0));
+    }
+
     #[test]
     fn render_text_exposition_shape() {
         let r = Registry::new();

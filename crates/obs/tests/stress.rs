@@ -7,7 +7,10 @@
 //! of the trace ring under concurrent pushes. CI runs this file in release
 //! mode (debug builds scale the op counts down).
 
-use copydet_obs::{registry, RoundTraceBuilder, TraceRing};
+use copydet_obs::{
+    registry, Event, EventRing, FieldValue, Registry, RoundTraceBuilder, Severity, TraceRing,
+};
+use proptest::prelude::*;
 use std::time::Instant;
 
 const THREADS: u64 = 8;
@@ -100,6 +103,95 @@ fn concurrent_trace_pushes_stay_bounded_and_ordered() {
     );
     let newest = recent.first().expect("ring is non-empty").sequence;
     assert_eq!(newest, THREADS * pushes, "every push got a distinct sequence");
+}
+
+#[test]
+fn concurrent_event_pushes_stay_bounded_and_ordered() {
+    const CAPACITY: usize = 32;
+    let ring = EventRing::with_capacity(CAPACITY);
+    let pushes = ops() / 100;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let ring = &ring;
+            scope.spawn(move || {
+                for i in 0..pushes {
+                    let severity = match i % 4 {
+                        0 => Severity::Debug,
+                        1 => Severity::Info,
+                        2 => Severity::Warn,
+                        _ => Severity::Error,
+                    };
+                    let sequence = ring.push(Event {
+                        seq: 0,
+                        wall_ms: 0,
+                        severity,
+                        component: if t % 2 == 0 { "store".into() } else { "serve".into() },
+                        name: format!("stress.{t}.{i}"),
+                        fields: vec![("i".into(), FieldValue::U64(i))],
+                    });
+                    assert!(sequence >= 1);
+                }
+            });
+        }
+    });
+    assert_eq!(ring.len(), CAPACITY, "ring stays at capacity under concurrent pushes");
+    let recent = ring.recent(0);
+    assert!(recent.windows(2).all(|w| w[0].seq > w[1].seq), "recent() is strictly newest-first");
+    let newest = recent.first().expect("ring is non-empty").seq;
+    assert_eq!(newest, THREADS * pushes, "every push got a distinct sequence");
+    // Filters compose with the ordering guarantee: a severity/component
+    // slice of the ring is a subsequence of the unfiltered tail.
+    let warnings = ring.recent_filtered(0, Severity::Warn, "store");
+    assert!(warnings.iter().all(|e| e.severity >= Severity::Warn && e.component == "store"));
+    assert!(warnings.windows(2).all(|w| w[0].seq > w[1].seq));
+}
+
+/// One `(metric, kind, value)` op: `kind` selects counter/gauge/histogram.
+fn render_ops() -> impl Strategy<Value = Vec<(u8, u8, u16)>> {
+    prop::collection::vec((0u8..4, 0u8..3, 0u16..1000), 1..160)
+}
+
+/// Applies `ops` to `registry` from `THREADS` threads, thread `t` taking
+/// the ops at indexes `i % THREADS == t` — a different interleaving every
+/// run, the same per-metric totals always.
+fn apply_interleaved(registry: &Registry, ops: &[(u8, u8, u16)]) {
+    std::thread::scope(|scope| {
+        for t in 0..THREADS as usize {
+            scope.spawn(move || {
+                for (metric, kind, value) in ops.iter().skip(t).step_by(THREADS as usize).copied() {
+                    match kind {
+                        0 => registry
+                            .counter(&format!("copydet_prop_counter_{metric}_total"))
+                            .add(u64::from(value)),
+                        1 => registry
+                            .gauge(&format!("copydet_prop_gauge_{metric}"))
+                            .add(i64::from(value)),
+                        _ => registry
+                            .histogram(&format!("copydet_prop_nanos_{metric}"))
+                            .record(u64::from(value)),
+                    }
+                }
+            });
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Exposition is a pure function of recorded totals: two registries fed
+    /// the same multiset of ops — under different thread interleavings and
+    /// with one side's op order reversed — render byte-identical text.
+    #[test]
+    fn render_text_is_deterministic_across_interleavings(ops in render_ops()) {
+        let left = Registry::new();
+        apply_interleaved(&left, &ops);
+        let right = Registry::new();
+        let mut reversed = ops.clone();
+        reversed.reverse();
+        apply_interleaved(&right, &reversed);
+        prop_assert_eq!(left.render_text(), right.render_text());
+    }
 }
 
 /// Reading the registry while nothing records must be cheap enough to poll:

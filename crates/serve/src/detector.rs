@@ -11,7 +11,11 @@ use copydet_fusion::{vote_group_probabilities, VoteConfig};
 use copydet_model::codec::usize_to_u64;
 use copydet_model::{Dataset, ItemValueGroup, SourceId, SourcePair};
 use copydet_nra::SortedList;
-use copydet_obs::{registry, trace_ring, Counter, Histogram, RoundTraceBuilder, Span};
+use copydet_obs::event::field;
+use copydet_obs::{
+    emit, registry, slow_op_exceeded, trace_fields, trace_ring, Counter, Histogram,
+    RoundTraceBuilder, Severity, Span,
+};
 use copydet_store::LiveConfig;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -339,6 +343,20 @@ impl ShardedDetector {
         topk_query_nanos().record(query_span.elapsed_nanos());
         topk_pairs_evaluated().add(result.stats.evaluated);
         topk_candidates_pruned().add(result.stats.pruned);
+        if slow_op_exceeded(finished.total_nanos) {
+            emit(Severity::Warn, "detect", "topk.slow", trace_fields(&finished));
+        }
+        emit(
+            Severity::Debug,
+            "detect",
+            "topk.finish",
+            vec![
+                field::u64("k", usize_to_u64(k)),
+                field::u64("evaluated", result.stats.evaluated),
+                field::u64("pruned", result.stats.pruned),
+                field::u64("nanos", finished.total_nanos),
+            ],
+        );
         trace_ring().push(finished);
         Ok(result)
     }
@@ -441,6 +459,15 @@ impl ShardedDetector {
         let finished = trace.finish();
         rounds_total().inc();
         round_nanos().record(finished.total_nanos);
+        if slow_op_exceeded(finished.total_nanos) {
+            emit(Severity::Warn, "detect", "round.slow", trace_fields(&finished));
+        }
+        emit(
+            Severity::Debug,
+            "detect",
+            "round.finish",
+            vec![field::u64("pairs", timings.pairs), field::u64("nanos", finished.total_nanos)],
+        );
         trace_ring().push(finished);
         Ok(result)
     }

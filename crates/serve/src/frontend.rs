@@ -16,6 +16,8 @@
 //! | `0x05` | METRICS | empty |
 //! | `0x06` | TRACE | `u32 n` (most recent traces wanted; `0` = all) |
 //! | `0x07` | DETECT_TOPK | `u8 mode` (`0` = per-source, `1` = fleet-wide), `u32 k`, then `str source` when `mode == 0` |
+//! | `0x08` | HEALTH | empty |
+//! | `0x09` | EVENTS | `u32 n` (most recent events wanted; `0` = all), `u8 min_severity` tag, `str component` (empty = any) |
 //!
 //! Responses are `0x80` (OK, payload per request kind) or `0x81` (error,
 //! `str` message). Strings are the codec's length-prefixed UTF-8, bounded
@@ -45,7 +47,14 @@ use crate::detector::ShardedDetector;
 use crate::shard::ShardedStore;
 use copydet_model::codec::{self, u32_to_usize, usize_to_u64, CodecError, Reader};
 use copydet_model::sync::RankedMutex;
-use copydet_obs::{registry, trace_ring, Counter, Gauge, Histogram, RoundTrace, Span, TraceStage};
+use copydet_obs::event::field;
+use copydet_obs::{
+    emit, evaluate_process_health, event_ring, publish_lock_metrics, registry,
+    set_default_event_capacity, set_default_trace_capacity, set_slow_op_threshold,
+    slow_op_exceeded, trace_ring, Counter, Event, FieldValue, Gauge, HealthReason,
+    HealthReasonCode, HealthThresholds, HealthVerdict, Histogram, RoundTrace, Severity, Span,
+    TraceStage,
+};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -68,6 +77,10 @@ pub const REQ_METRICS: u8 = 0x05;
 pub const REQ_TRACE: u8 = 0x06;
 /// Request kind: pruned top-k copier query (per-source or fleet-wide).
 pub const REQ_DETECT_TOPK: u8 = 0x07;
+/// Request kind: typed health verdict.
+pub const REQ_HEALTH: u8 = 0x08;
+/// Request kind: recent flight-recorder events.
+pub const REQ_EVENTS: u8 = 0x09;
 /// Response kind: success.
 pub const RESP_OK: u8 = 0x80;
 /// Response kind: failure (payload is the message).
@@ -75,8 +88,17 @@ pub const RESP_ERR: u8 = 0x81;
 
 /// Verb names, indexed by [`verb_index`]; also the `verb` label of the
 /// `copydet_frontend_*` registry metrics.
-const VERBS: [&str; 7] =
-    ["INGEST", "STATS", "DETECT", "SHUTDOWN", "METRICS", "TRACE", "DETECT_TOPK"];
+const VERBS: [&str; 9] = [
+    "INGEST",
+    "STATS",
+    "DETECT",
+    "SHUTDOWN",
+    "METRICS",
+    "TRACE",
+    "DETECT_TOPK",
+    "HEALTH",
+    "EVENTS",
+];
 
 /// Dense verb index of a request kind (`None` for unknown kinds).
 fn verb_index(kind: u8) -> Option<usize> {
@@ -88,14 +110,21 @@ fn verb_index(kind: u8) -> Option<usize> {
         REQ_METRICS => Some(4),
         REQ_TRACE => Some(5),
         REQ_DETECT_TOPK => Some(6),
+        REQ_HEALTH => Some(7),
+        REQ_EVENTS => Some(8),
         _ => None,
     }
 }
 
+/// The verb name of a request kind, for event fields.
+fn verb_name(kind: u8) -> &'static str {
+    verb_index(kind).and_then(|i| VERBS.get(i).copied()).unwrap_or("UNKNOWN")
+}
+
 /// Per-verb request counters in the process-global registry, indexed like
 /// [`VERBS`].
-fn request_counters() -> &'static [Arc<Counter>; 7] {
-    static COUNTERS: OnceLock<[Arc<Counter>; 7]> = OnceLock::new();
+fn request_counters() -> &'static [Arc<Counter>; 9] {
+    static COUNTERS: OnceLock<[Arc<Counter>; 9]> = OnceLock::new();
     COUNTERS.get_or_init(|| {
         std::array::from_fn(|i| {
             let verb = VERBS.get(i).copied().unwrap_or("UNKNOWN");
@@ -105,8 +134,8 @@ fn request_counters() -> &'static [Arc<Counter>; 7] {
 }
 
 /// Per-verb request-latency histograms, indexed like [`VERBS`].
-fn request_nanos() -> &'static [Arc<Histogram>; 7] {
-    static HISTOGRAMS: OnceLock<[Arc<Histogram>; 7]> = OnceLock::new();
+fn request_nanos() -> &'static [Arc<Histogram>; 9] {
+    static HISTOGRAMS: OnceLock<[Arc<Histogram>; 9]> = OnceLock::new();
     HISTOGRAMS.get_or_init(|| {
         std::array::from_fn(|i| {
             let verb = VERBS.get(i).copied().unwrap_or("UNKNOWN");
@@ -126,6 +155,31 @@ fn connections_live() -> &'static Arc<Gauge> {
 fn connections_total() -> &'static Arc<Counter> {
     static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
     COUNTER.get_or_init(|| registry().counter("copydet_frontend_connections_total"))
+}
+
+/// Requests currently being dispatched, across every frontend in the
+/// process — the saturation gauge `HEALTH` readers correlate with the
+/// per-rank lock-wait gauges.
+fn inflight_requests() -> &'static Arc<Gauge> {
+    static GAUGE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    GAUGE.get_or_init(|| registry().gauge("copydet_frontend_inflight_requests"))
+}
+
+/// RAII handle for the in-flight gauge: covers every dispatch exit path
+/// (response written, I/O error, SHUTDOWN break).
+struct InflightRequest;
+
+impl InflightRequest {
+    fn start() -> Self {
+        inflight_requests().inc();
+        Self
+    }
+}
+
+impl Drop for InflightRequest {
+    fn drop(&mut self) {
+        inflight_requests().dec();
+    }
 }
 
 /// Records one served request into the global registry (count + latency).
@@ -148,6 +202,7 @@ impl LiveConnection {
     fn open() -> Self {
         connections_total().inc();
         connections_live().inc();
+        emit(Severity::Info, "serve", "conn.open", Vec::new());
         Self
     }
 }
@@ -155,6 +210,7 @@ impl LiveConnection {
 impl Drop for LiveConnection {
     fn drop(&mut self) {
         connections_live().dec();
+        emit(Severity::Info, "serve", "conn.close", Vec::new());
     }
 }
 
@@ -168,7 +224,7 @@ impl Drop for LiveConnection {
 #[derive(Debug)]
 struct FrontendStats {
     started: Instant,
-    verbs: [AtomicU64; 7],
+    verbs: [AtomicU64; 9],
 }
 
 impl FrontendStats {
@@ -197,6 +253,8 @@ impl FrontendStats {
             metrics: get(4),
             trace: get(5),
             detect_topk: get(6),
+            health: get(7),
+            events: get(8),
         }
     }
 }
@@ -265,6 +323,12 @@ pub enum ProtocolError {
         /// The offending mode byte.
         mode: u8,
     },
+    /// An `EVENTS` request used a severity tag the protocol does not
+    /// define.
+    UnknownSeverity {
+        /// The offending severity tag.
+        tag: u8,
+    },
     /// The detection round itself failed (e.g. a shard's counts disagreed
     /// with its snapshot). Carries the rendered
     /// [`DetectError`](copydet_detect::DetectError) — a recoverable
@@ -306,6 +370,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::UnknownTopKMode { mode } => {
                 write!(f, "unknown DETECT_TOPK mode {mode:#04x} (0 = per-source, 1 = fleet-wide)")
             }
+            ProtocolError::UnknownSeverity { tag } => {
+                write!(f, "unknown EVENTS severity tag {tag} (0 = debug .. 3 = error)")
+            }
             ProtocolError::Detect { message } => {
                 write!(f, "DETECT round failed: {message}")
             }
@@ -343,9 +410,12 @@ fn read_frame(stream: &mut TcpStream) -> io::Result<Option<(u8, Vec<u8>)>> {
             Ok(_) => {}
             Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(stream),
             // A timed-out wait between frames (WouldBlock on Unix,
-            // TimedOut on Windows) is the idle-connection signal.
+            // TimedOut on Windows) is the idle-connection signal. Only the
+            // server arms read timeouts, so this branch never fires for the
+            // client half of this module.
             Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                return Ok(None)
+                emit(Severity::Info, "serve", "conn.idle_timeout", Vec::new());
+                return Ok(None);
             }
             Err(e) => return Err(e),
         }
@@ -415,6 +485,10 @@ pub struct WireRequestCounts {
     pub trace: u64,
     /// `DETECT_TOPK` requests served.
     pub detect_topk: u64,
+    /// `HEALTH` requests served.
+    pub health: u64,
+    /// `EVENTS` requests served.
+    pub events: u64,
 }
 
 /// One copying pair as reported over the wire (source names, since the
@@ -543,6 +617,20 @@ pub struct FrontendConfig {
     /// pins a handler thread until shutdown. Mid-frame timeouts remain
     /// errors: only silence before a frame's first byte is "idle".
     pub idle_timeout: Option<std::time::Duration>,
+    /// Requests, rounds or maintenance ticks slower than this are promoted
+    /// to `Warn` flight-recorder events carrying the round's stage
+    /// breakdown. `None` (the default) leaves the `COPYDET_SLOW_OP_MS`
+    /// environment setting in force (absent ⇒ slow-op capture disabled).
+    pub slow_op_threshold: Option<std::time::Duration>,
+    /// Capacity of the global round-trace ring, applied at server startup
+    /// (`0`, the default, keeps `COPYDET_TRACE_CAPACITY` / the built-in
+    /// default). First use of the ring wins — start the server before
+    /// tracing anything if this knob matters.
+    pub trace_capacity: usize,
+    /// Capacity of the global flight-recorder event ring, applied at server
+    /// startup (`0`, the default, keeps `COPYDET_EVENT_CAPACITY` / the
+    /// built-in default). First use wins, like `trace_capacity`.
+    pub event_capacity: usize,
 }
 
 /// [`serve`] with explicit [`FrontendConfig`] knobs.
@@ -551,6 +639,19 @@ pub fn serve_with_config(
     addr: impl ToSocketAddrs,
     config: FrontendConfig,
 ) -> io::Result<ServerHandle> {
+    // Observability knobs first: ring capacities only matter before the
+    // rings' first use, and the slow-op threshold should cover the very
+    // first request.
+    if config.trace_capacity > 0 {
+        set_default_trace_capacity(config.trace_capacity);
+    }
+    if config.event_capacity > 0 {
+        set_default_event_capacity(config.event_capacity);
+    }
+    if config.slow_op_threshold.is_some() {
+        // `None` deliberately leaves COPYDET_SLOW_OP_MS in force.
+        set_slow_op_threshold(config.slow_op_threshold);
+    }
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -633,6 +734,7 @@ fn serve_connection(
 ) -> io::Result<()> {
     while let Some((kind, payload)) = read_frame(stream)? {
         let span = Span::start();
+        let _inflight = InflightRequest::start();
         // Counted before dispatch so a STATS response includes the request
         // that asked for it.
         stats.count(kind);
@@ -643,6 +745,8 @@ fn serve_connection(
             REQ_DETECT_TOPK => handle_detect_topk(store, &payload, config),
             REQ_METRICS => handle_metrics(),
             REQ_TRACE => handle_trace(&payload),
+            REQ_HEALTH => handle_health(store, &payload),
+            REQ_EVENTS => handle_events(&payload),
             REQ_SHUTDOWN => {
                 stop.store(true, Ordering::SeqCst);
                 write_frame(stream, RESP_OK, &[])?;
@@ -665,11 +769,44 @@ fn serve_connection(
             }
             other => Err(ProtocolError::UnknownKind { kind: other }),
         };
+        let ok = response.is_ok();
         match response {
             Ok(out) => write_frame(stream, RESP_OK, &out)?,
-            Err(e) => write_error(stream, &e.to_string())?,
+            Err(e) => {
+                // Every ProtocolError (bad payloads, unknown kinds, failed
+                // DETECT rounds) lands in the flight recorder before the
+                // 0x81 frame goes out.
+                emit(
+                    Severity::Warn,
+                    "serve",
+                    "request.error",
+                    vec![field::str("verb", verb_name(kind)), field::str("detail", &e.to_string())],
+                );
+                write_error(stream, &e.to_string())?;
+            }
         }
         record_request(kind, &span);
+        let nanos = span.elapsed_nanos();
+        if slow_op_exceeded(nanos) {
+            emit(
+                Severity::Warn,
+                "serve",
+                "request.slow",
+                vec![field::str("verb", verb_name(kind)), field::u64("nanos", nanos)],
+            );
+        }
+        // Per-request outcome at Debug: suppressed in one atomic load
+        // unless COPYDET_LOG=debug asks for the firehose.
+        emit(
+            Severity::Debug,
+            "serve",
+            "request",
+            vec![
+                field::str("verb", verb_name(kind)),
+                field::u64("ok", u64::from(ok)),
+                field::u64("nanos", nanos),
+            ],
+        );
     }
     Ok(())
 }
@@ -716,6 +853,8 @@ fn handle_stats(store: &ShardedStore, frontend: &FrontendStats) -> Vec<u8> {
         counts.metrics,
         counts.trace,
         counts.detect_topk,
+        counts.health,
+        counts.events,
     ] {
         codec::put_u64(&mut out, count);
     }
@@ -726,6 +865,9 @@ fn handle_stats(store: &ShardedStore, frontend: &FrontendStats) -> Vec<u8> {
 /// exposition, as one wire string.
 fn handle_metrics() -> Result<Vec<u8>, ProtocolError> {
     const REQUEST: &str = "METRICS";
+    // Lock-contention probes are pull-model: refresh their gauges so the
+    // exposition below carries current counts.
+    publish_lock_metrics();
     let text = registry().render_text();
     let mut out = Vec::new();
     codec::put_str(&mut out, &text)
@@ -778,6 +920,114 @@ fn handle_trace(payload: &[u8]) -> Result<Vec<u8>, ProtocolError> {
             len: out.len(),
             limit: u32_to_usize(codec::MAX_WIRE_FRAME_LEN),
             entries: traces.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// HEALTH: compose the sticky-store check (only the serve layer can see the
+/// store) with the process-wide rules of
+/// [`evaluate_process_health`], and encode the verdict: `u8 ok`, `u32 n`,
+/// then `n × (u8 reason tag, str detail)`.
+fn handle_health(store: &ShardedStore, payload: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+    const REQUEST: &str = "HEALTH";
+    if !payload.is_empty() {
+        return Err(ProtocolError::TrailingBytes {
+            request: REQUEST,
+            trailing: payload.len(),
+            declared: 0,
+        });
+    }
+    let mut reasons = Vec::new();
+    if let Some(e) = store.io_error() {
+        reasons
+            .push(HealthReason { code: HealthReasonCode::StickyStoreError, detail: e.to_string() });
+    }
+    reasons.extend(evaluate_process_health(&HealthThresholds::default()));
+    let verdict = HealthVerdict::from_reasons(reasons);
+    let mut out = Vec::new();
+    codec::put_u8(&mut out, u8::from(verdict.ok));
+    // At most one reason per code: far below 2^32.
+    codec::put_u32(&mut out, u32::try_from(verdict.reasons.len()).unwrap_or(u32::MAX));
+    for reason in &verdict.reasons {
+        codec::put_u8(&mut out, reason.code.tag());
+        codec::put_str(&mut out, &reason.detail)
+            .map_err(|source| ProtocolError::Encode { request: REQUEST, source })?;
+    }
+    Ok(out)
+}
+
+/// EVENTS: the most recent `n` flight-recorder events at `min_severity` or
+/// above (optionally from one component), newest first. Encoded per event:
+/// seq, wall_ms, severity tag, component, name, then the typed fields
+/// (`0` = u64, `1` = i64 as little-endian bits, `2` = f64 bits, `3` = str).
+fn handle_events(payload: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+    const REQUEST: &str = "EVENTS";
+    let bad = |source| ProtocolError::BadPayload { request: REQUEST, source };
+    let mut r = Reader::new(payload);
+    let declared = r.u32().map_err(bad)?;
+    let severity_tag = r.u8().map_err(bad)?;
+    let component = r.string().map_err(bad)?;
+    if !r.is_empty() {
+        return Err(ProtocolError::TrailingBytes {
+            request: REQUEST,
+            trailing: r.remaining(),
+            declared,
+        });
+    }
+    let min_severity = Severity::from_tag(severity_tag)
+        .ok_or(ProtocolError::UnknownSeverity { tag: severity_tag })?;
+    let events = event_ring().recent_filtered(u32_to_usize(declared), min_severity, &component);
+    let mut out = Vec::new();
+    // The ring is capacity-bounded far below 2^32, so this never saturates.
+    codec::put_u32(&mut out, u32::try_from(events.len()).unwrap_or(u32::MAX));
+    let encode = |out: &mut Vec<u8>, s: &str| {
+        codec::put_str(out, s).map_err(|source| ProtocolError::Encode { request: REQUEST, source })
+    };
+    for event in &events {
+        codec::put_u64(&mut out, event.seq);
+        codec::put_u64(&mut out, event.wall_ms);
+        codec::put_u8(&mut out, event.severity.tag());
+        encode(&mut out, &event.component)?;
+        encode(&mut out, &event.name)?;
+        let fields =
+            u32::try_from(event.fields.len()).map_err(|_| ProtocolError::ResponseTooLarge {
+                request: REQUEST,
+                len: event.fields.len(),
+                limit: u32_to_usize(u32::MAX),
+                entries: event.fields.len(),
+            })?;
+        codec::put_u32(&mut out, fields);
+        for (key, value) in &event.fields {
+            encode(&mut out, key)?;
+            match value {
+                FieldValue::U64(v) => {
+                    codec::put_u8(&mut out, 0);
+                    codec::put_u64(&mut out, *v);
+                }
+                FieldValue::I64(v) => {
+                    codec::put_u8(&mut out, 1);
+                    // Bit-transport, not a cast: the lossy-cast audit covers
+                    // this module.
+                    codec::put_u64(&mut out, u64::from_le_bytes(v.to_le_bytes()));
+                }
+                FieldValue::F64(v) => {
+                    codec::put_u8(&mut out, 2);
+                    codec::put_u64(&mut out, v.to_bits());
+                }
+                FieldValue::Str(v) => {
+                    codec::put_u8(&mut out, 3);
+                    encode(&mut out, v)?;
+                }
+            }
+        }
+    }
+    if usize_to_u64(out.len()) > u64::from(codec::MAX_WIRE_FRAME_LEN) {
+        return Err(ProtocolError::ResponseTooLarge {
+            request: REQUEST,
+            len: out.len(),
+            limit: u32_to_usize(codec::MAX_WIRE_FRAME_LEN),
+            entries: events.len(),
         });
     }
     Ok(out)
@@ -1044,6 +1294,8 @@ impl Client {
                 metrics: r.u64()?,
                 trace: r.u64()?,
                 detect_topk: r.u64()?,
+                health: r.u64()?,
+                events: r.u64()?,
             };
             Ok(WireFleetStats { shards, uptime_micros, requests })
         };
@@ -1140,6 +1392,79 @@ impl Client {
             Ok(WireTopK { candidates, evaluated, pruned, ranked })
         };
         decode(&mut r).map_err(invalid)
+    }
+
+    /// Fetches the server's typed health verdict: `ok`, or degraded with
+    /// one [`HealthReason`] per observed problem (sticky store errors, WAL
+    /// fsync over budget, merge starvation, connection saturation).
+    pub fn health(&mut self) -> io::Result<HealthVerdict> {
+        let resp = self.request(REQ_HEALTH, &[])?;
+        let mut r = Reader::new(&resp);
+        let ok = r.u8().map_err(invalid)? != 0;
+        let n = u32_to_usize(r.u32().map_err(invalid)?);
+        let mut reasons = Vec::with_capacity(n.min(1 << 8));
+        for _ in 0..n {
+            let tag = r.u8().map_err(invalid)?;
+            let code = HealthReasonCode::from_tag(tag).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown health reason tag {tag}"),
+                )
+            })?;
+            reasons.push(HealthReason { code, detail: r.string().map_err(invalid)? });
+        }
+        Ok(HealthVerdict { ok, reasons })
+    }
+
+    /// Fetches the server's most recent `n` flight-recorder events at
+    /// `min_severity` or above, newest first (`n == 0` means every retained
+    /// event; an empty `component` matches every component).
+    pub fn events(
+        &mut self,
+        n: u32,
+        min_severity: Severity,
+        component: &str,
+    ) -> io::Result<Vec<Event>> {
+        let mut payload = Vec::new();
+        codec::put_u32(&mut payload, n);
+        codec::put_u8(&mut payload, min_severity.tag());
+        codec::put_str(&mut payload, component).map_err(invalid)?;
+        let resp = self.request(REQ_EVENTS, &payload)?;
+        let mut r = Reader::new(&resp);
+        let decode = |r: &mut Reader<'_>| -> Result<Option<Vec<Event>>, CodecError> {
+            let count = u32_to_usize(r.u32()?);
+            let mut events = Vec::with_capacity(count.min(1 << 10));
+            for _ in 0..count {
+                let seq = r.u64()?;
+                let wall_ms = r.u64()?;
+                let Some(severity) = Severity::from_tag(r.u8()?) else { return Ok(None) };
+                let component = r.string()?;
+                let name = r.string()?;
+                let num_fields = u32_to_usize(r.u32()?);
+                let mut fields = Vec::with_capacity(num_fields.min(1 << 10));
+                for _ in 0..num_fields {
+                    let key = r.string()?;
+                    let value = match r.u8()? {
+                        0 => FieldValue::U64(r.u64()?),
+                        1 => FieldValue::I64(i64::from_le_bytes(r.u64()?.to_le_bytes())),
+                        2 => FieldValue::F64(f64::from_bits(r.u64()?)),
+                        3 => FieldValue::Str(r.string()?),
+                        _ => return Ok(None),
+                    };
+                    fields.push((key, value));
+                }
+                events.push(Event { seq, wall_ms, severity, component, name, fields });
+            }
+            Ok(Some(events))
+        };
+        match decode(&mut r) {
+            Ok(Some(events)) => Ok(events),
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "EVENTS response used an unknown severity or field tag",
+            )),
+            Err(e) => Err(invalid(e)),
+        }
     }
 
     /// Asks the server to stop accepting connections.

@@ -28,7 +28,8 @@
 //!   checksummed length-prefixed protocol built on
 //!   [`copydet_model::codec`]: INGEST batch / STATS / DETECT round /
 //!   DETECT_TOPK pruned top-k query / SHUTDOWN / METRICS exposition /
-//!   TRACE (recent round traces), plus the matching blocking
+//!   TRACE (recent round traces) / HEALTH (process health verdict) /
+//!   EVENTS (flight-recorder tail), plus the matching blocking
 //!   [`Client`](frontend::Client).
 //!
 //! ```
@@ -67,5 +68,8 @@ pub use shard::{fnv1a64, partition_of, Router, ShardMaps, ShardedStore};
 // Re-exported so serve users can name the store/detect/obs types without
 // direct dependencies.
 pub use copydet_detect::{DetectionResult, TopKResult, TopKStats};
-pub use copydet_obs::{RoundTrace, TraceStage};
+pub use copydet_obs::{
+    Event, FieldValue, HealthReason, HealthReasonCode, HealthVerdict, RoundTrace, Severity,
+    TraceStage,
+};
 pub use copydet_store::{LiveConfig, StoreConfig, StoreIoError, StoreStats};

@@ -3,9 +3,11 @@
 
 use crate::registry_log::{NameKind, RegistryLog};
 use copydet_index::SharedItemCounts;
+use copydet_model::codec::usize_to_u64;
 use copydet_model::sync::RankedRwLock;
 use copydet_model::{ItemId, NameTable, SourceId, SourcePair};
-use copydet_obs::Span;
+use copydet_obs::event::field;
+use copydet_obs::{emit, Severity, Span};
 use copydet_store::{
     read_bounded_text, SharedClaimStore, StoreConfig, StoreIoError, StoreSnapshot, StoreStats,
 };
@@ -112,6 +114,16 @@ impl GlobalTables {
         let pending = std::mem::take(&mut self.pending);
         if let Some(log) = &mut self.log {
             if let Err(e) = log.append(&pending) {
+                if self.log_error.is_none() {
+                    // Emitting at rank 60 while holding the rank-10 registry
+                    // write lock is in rank order.
+                    emit(
+                        Severity::Error,
+                        "serve",
+                        "registry_log.broken",
+                        vec![field::str("detail", &e.to_string())],
+                    );
+                }
                 self.log_error.get_or_insert(e);
             }
         }
@@ -238,6 +250,17 @@ impl ShardedStore {
             global.log = Some(log);
         }
         store.rebuild_global_registry()?;
+        if !replayed.is_empty() {
+            emit(
+                Severity::Info,
+                "serve",
+                "fleet.recovered",
+                vec![
+                    field::u64("shards", usize_to_u64(store.shards.len())),
+                    field::u64("replayed_names", usize_to_u64(replayed.len())),
+                ],
+            );
+        }
         Ok(store)
     }
 

@@ -37,6 +37,8 @@ use crate::stats::StoreStats;
 use crate::store::{ClaimStore, StoreConfig};
 use copydet_model::sync::{RankedMutex, RankedMutexGuard};
 use copydet_model::Claim;
+use copydet_obs::event::field;
+use copydet_obs::{emit, slow_op_exceeded, Severity, Span};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -149,6 +151,7 @@ impl SharedClaimStore {
     /// is recorded as the store's sticky [`StoreIoError`]; poll
     /// [`io_error`](Self::io_error) to observe it.
     pub fn maintenance_tick(&self, seal_at: usize, max_segments: usize) -> bool {
+        let span = Span::start();
         let mut store = self.lock();
         let mut acted = false;
         if store.stats().growing_claims >= seal_at.max(1) {
@@ -164,6 +167,16 @@ impl SharedClaimStore {
             // maintenance has no channel to report it and does not need one.
             let _ = store.sync();
             acted = true;
+        }
+        drop(store);
+        let nanos = span.elapsed_nanos();
+        if acted && slow_op_exceeded(nanos) {
+            emit(
+                Severity::Warn,
+                "store",
+                "maintenance.slow_tick",
+                vec![field::u64("nanos", nanos)],
+            );
         }
         acted
     }

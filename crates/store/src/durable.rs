@@ -44,6 +44,8 @@ use crate::ioutil::read_bounded;
 use crate::segment::SealedSegment;
 use crate::wal::{DurableIo, SyncPoint, WalWriter, WAL_FILE};
 use copydet_model::codec::usize_to_u64;
+use copydet_obs::event::field;
+use copydet_obs::{emit, Severity, Span};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -230,6 +232,23 @@ impl Persistence {
             }
         }
 
+        // A fresh directory "recovers" to the empty state — not worth a
+        // line in the flight recorder; a real recovery is.
+        if manifest_present || !wal_records.is_empty() {
+            emit(
+                Severity::Info,
+                "store",
+                "store.recovered",
+                vec![
+                    field::u64("sources", usize_to_u64(sources.len())),
+                    field::u64("items", usize_to_u64(items.len())),
+                    field::u64("values", usize_to_u64(values.len())),
+                    field::u64("segments", usize_to_u64(segments.len())),
+                    field::u64("wal_records", usize_to_u64(wal_records.len())),
+                ],
+            );
+        }
+
         let persistence = Persistence {
             io,
             wal,
@@ -273,6 +292,12 @@ impl Persistence {
     fn guard(&mut self, result: Result<(), StoreIoError>) {
         if let Err(e) = result {
             if self.broken.is_none() {
+                emit(
+                    Severity::Error,
+                    "store",
+                    "persistence.broken",
+                    vec![field::str("detail", &e.to_string())],
+                );
                 self.broken = Some(e);
             }
         }
@@ -319,8 +344,26 @@ impl Persistence {
         if self.broken.is_some() {
             return;
         }
+        let span = Span::start();
         let result = self.commit_inner(sealed, sources, items, values, reset_wal, compact_tables);
+        let committed = result.is_ok();
         self.guard(result);
+        if committed {
+            let name = match (reset_wal, compact_tables) {
+                (true, _) => "commit.seal",
+                (false, true) => "commit.compact",
+                (false, false) => "commit",
+            };
+            emit(
+                Severity::Info,
+                "store",
+                name,
+                vec![
+                    field::u64("segments", usize_to_u64(sealed.len())),
+                    field::u64("nanos", span.elapsed_nanos()),
+                ],
+            );
+        }
     }
 
     fn commit_inner(

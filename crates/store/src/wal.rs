@@ -21,11 +21,18 @@
 use crate::error::StoreIoError;
 use crate::format::{self, WalRecord};
 use copydet_model::codec::usize_to_u64;
-use copydet_obs::{registry, Histogram, Span};
+use copydet_obs::event::field;
+use copydet_obs::{emit, registry, Histogram, Severity, Span};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
+
+/// An append or fsync slower than this is a stall worth an event: 10ms is
+/// two orders of magnitude above a healthy buffered append and roughly a
+/// spinning disk's worst-case seek, so it only fires when the device (or a
+/// saturated queue ahead of it) is genuinely misbehaving.
+const WAL_STALL_NANOS: u64 = 10_000_000;
 
 /// Latency of one WAL frame append (encode + gated write), in nanoseconds.
 fn wal_append_nanos() -> &'static Arc<Histogram> {
@@ -325,7 +332,16 @@ impl WalWriter {
         self.unsynced += 1;
         // Recorded before any chained fsync, so the append and fsync series
         // decompose the per-claim durability cost instead of double-counting.
-        wal_append_nanos().record(span.elapsed_nanos());
+        let nanos = span.elapsed_nanos();
+        wal_append_nanos().record(nanos);
+        if nanos >= WAL_STALL_NANOS {
+            emit(
+                Severity::Warn,
+                "store",
+                "wal.append_stall",
+                vec![field::u64("nanos", nanos), field::u64("frames", self.frames)],
+            );
+        }
         if self.fsync_each {
             self.sync(io)?;
         }
@@ -339,7 +355,16 @@ impl WalWriter {
             io.fsync(file, &self.path, "wal:fsync")?;
         }
         self.unsynced = 0;
-        wal_fsync_nanos().record(span.elapsed_nanos());
+        let nanos = span.elapsed_nanos();
+        wal_fsync_nanos().record(nanos);
+        if nanos >= WAL_STALL_NANOS {
+            emit(
+                Severity::Warn,
+                "store",
+                "wal.fsync_stall",
+                vec![field::u64("nanos", nanos), field::u64("frames", self.frames)],
+            );
+        }
         Ok(())
     }
 

@@ -9,7 +9,7 @@
 //! release only — debug builds skew both sides and CI's release stress step
 //! is the enforcement point.
 
-use copydet_obs::registry;
+use copydet_obs::{emit, registry, Severity};
 use copydet_store::ClaimStore;
 use std::time::Instant;
 
@@ -49,6 +49,46 @@ fn ingest_instrumentation_is_within_three_percent() {
     assert!(
         instr_per_op < 0.03 * ingest_per_op,
         "instrumentation primitive ({instr_per_op:.2e}s) must stay under 3% of an ingest op \
+         ({ingest_per_op:.2e}s)"
+    );
+}
+
+/// The flight recorder's default-severity guard: an `emit` below the
+/// process log floor (`Debug` under the default `Info`) costs one atomic
+/// load, which must stay under 3% of the ingest op it would instrument —
+/// the hot paths emit `Debug` records unconditionally and rely on this.
+#[test]
+fn suppressed_emit_is_within_three_percent() {
+    const OPS: usize = 100_000;
+
+    let emit_start = Instant::now();
+    for _ in 0..OPS {
+        let suppressed = emit(Severity::Debug, "bench", "overhead.probe", Vec::new());
+        assert!(suppressed.is_none(), "the default floor is Info");
+    }
+    let emit_per_op = emit_start.elapsed().as_secs_f64() / OPS as f64;
+
+    let items: Vec<String> = (0..OPS).map(|i| format!("D{i}")).collect();
+    let mut store = ClaimStore::new();
+    let ingest_start = Instant::now();
+    for item in &items {
+        store.ingest("S0", item, "v");
+    }
+    let ingest_per_op = ingest_start.elapsed().as_secs_f64() / OPS as f64;
+
+    eprintln!(
+        "suppressed emit {:.1} ns/op vs ingest {:.1} ns/op ({:.2}%)",
+        emit_per_op * 1e9,
+        ingest_per_op * 1e9,
+        100.0 * emit_per_op / ingest_per_op
+    );
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: ratio not asserted (CI asserts it in the release stress step)");
+        return;
+    }
+    assert!(
+        emit_per_op < 0.03 * ingest_per_op,
+        "a suppressed emit ({emit_per_op:.2e}s) must stay under 3% of an ingest op \
          ({ingest_per_op:.2e}s)"
     );
 }

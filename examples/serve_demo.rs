@@ -9,7 +9,7 @@
 //! Run with: `cargo run --example serve_demo`
 
 use copydetect::serve::frontend::{self, Client};
-use copydetect::serve::ShardedStore;
+use copydetect::serve::{Severity, ShardedStore};
 
 const SHARDS: usize = 3;
 
@@ -62,6 +62,19 @@ fn drive_round(addr: std::net::SocketAddr) -> std::io::Result<Vec<(String, Strin
         best.first, best.second, best.posterior, top.evaluated, top.candidates, top.pruned,
     );
     assert_eq!((best.first.as_str(), best.second.as_str()), ("alpha", "mirror"));
+    // The operator surface: a health verdict plus the flight recorder's
+    // most recent notable events.
+    let health = client.health()?;
+    if health.ok {
+        println!("  health: ok");
+    } else {
+        for reason in &health.reasons {
+            println!("  health: degraded — {reason}");
+        }
+    }
+    for event in client.events(3, Severity::Info, "")?.iter().rev() {
+        println!("  event #{}: [{}] {}.{}", event.seq, event.severity, event.component, event.name);
+    }
     client.shutdown()?;
     Ok(detection.copying.iter().map(|p| (p.first.clone(), p.second.clone())).collect())
 }
